@@ -1,0 +1,394 @@
+//! Forward/backward implication over the two-frame model, with a trail for
+//! cheap rollback. This is the machinery behind necessary assignments
+//! (paper §2.3.2 and §3.2).
+
+use fbt_netlist::{GateKind, Netlist, NodeId};
+use fbt_sim::{tv, Trit};
+
+use crate::frames::{var_of, var_parts, Frame};
+
+/// A contradiction between implied values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// The variable on which opposing values met.
+    pub var: usize,
+}
+
+impl std::fmt::Display for Conflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conflicting implications on variable {}", self.var)
+    }
+}
+
+impl std::error::Error for Conflict {}
+
+/// A two-frame implication engine.
+///
+/// [`Implicator::assign`] sets a variable and propagates *direct
+/// implications* to a fixpoint: forward gate evaluation, backward
+/// justification when only one way remains, and the cross-frame equality
+/// between a frame-2 flip-flop and its frame-1 D driver. The trail records
+/// every assignment so that [`Implicator::rollback`] can restore any earlier
+/// [`Implicator::checkpoint`].
+///
+/// # Example
+///
+/// ```
+/// use fbt_atpg::implic::Implicator;
+/// use fbt_atpg::{var_of, Frame};
+/// use fbt_sim::Trit;
+///
+/// let net = fbt_netlist::s27();
+/// let n = net.num_nodes();
+/// let mut imp = Implicator::new(&net);
+/// let g14 = net.find("G14").unwrap(); // G14 = NOT(G0)
+/// let g0 = net.find("G0").unwrap();
+/// imp.assign(var_of(n, Frame::First, g14), true).unwrap();
+/// assert_eq!(imp.value(var_of(n, Frame::First, g0)), Trit::Zero);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Implicator<'a> {
+    net: &'a Netlist,
+    n: usize,
+    vals: Vec<Trit>,
+    trail: Vec<usize>,
+    /// For each node: the flip-flops whose D input it drives.
+    drives_dff: Vec<Vec<NodeId>>,
+}
+
+impl<'a> Implicator<'a> {
+    /// Create an all-X engine.
+    pub fn new(net: &'a Netlist) -> Self {
+        let n = net.num_nodes();
+        let mut drives_dff = vec![Vec::new(); n];
+        for &d in net.dffs() {
+            drives_dff[net.node(d).fanins()[0].index()].push(d);
+        }
+        Implicator {
+            net,
+            n,
+            vals: vec![Trit::X; 2 * n],
+            trail: Vec::new(),
+            drives_dff,
+        }
+    }
+
+    /// Current value of a variable.
+    #[inline]
+    pub fn value(&self, var: usize) -> Trit {
+        self.vals[var]
+    }
+
+    /// The number of assignments on the trail (a checkpoint token).
+    pub fn checkpoint(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Undo all assignments made after `mark`.
+    pub fn rollback(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let var = self.trail.pop().expect("trail non-empty");
+            self.vals[var] = Trit::X;
+        }
+    }
+
+    /// The assignments made since `mark`, as `(var, value)` pairs.
+    pub fn since(&self, mark: usize) -> Vec<(usize, bool)> {
+        self.trail[mark..]
+            .iter()
+            .map(|&v| (v, self.vals[v] == Trit::One))
+            .collect()
+    }
+
+    /// Assign `var = value` and propagate to a fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Conflict`] if the assignment (or anything it implies)
+    /// contradicts an existing value. The engine state is left as-is on
+    /// conflict; use [`Implicator::rollback`] to recover.
+    pub fn assign(&mut self, var: usize, value: bool) -> Result<(), Conflict> {
+        let mut queue: Vec<usize> = Vec::new();
+        self.post(var, Trit::from_bool(value), &mut queue)?;
+        while let Some(v) = queue.pop() {
+            self.propagate_from(v, &mut queue)?;
+        }
+        Ok(())
+    }
+
+    /// Record a value; push the variable for propagation.
+    fn post(&mut self, var: usize, value: Trit, queue: &mut Vec<usize>) -> Result<(), Conflict> {
+        debug_assert!(value.is_specified());
+        match self.vals[var] {
+            Trit::X => {
+                self.vals[var] = value;
+                self.trail.push(var);
+                queue.push(var);
+                Ok(())
+            }
+            existing if existing == value => Ok(()),
+            _ => Err(Conflict { var }),
+        }
+    }
+
+    fn frame_val(&self, frame: Frame, node: NodeId) -> Trit {
+        self.vals[var_of(self.n, frame, node)]
+    }
+
+    /// Propagate the consequences of `var` being specified.
+    fn propagate_from(&mut self, var: usize, queue: &mut Vec<usize>) -> Result<(), Conflict> {
+        let (frame, node) = var_parts(self.n, var);
+        let value = self.vals[var];
+
+        // Cross-frame flip-flop equality.
+        if frame == Frame::First {
+            for &d in &self.drives_dff[node.index()].clone() {
+                self.post(var_of(self.n, Frame::Second, d), value, queue)?;
+            }
+        }
+        if frame == Frame::Second && self.net.node(node).kind() == GateKind::Dff {
+            let drv = self.net.node(node).fanins()[0];
+            self.post(var_of(self.n, Frame::First, drv), value, queue)?;
+        }
+
+        // Forward through fanout gates in the same frame.
+        for &fo in self.net.node(node).fanouts() {
+            let fo_node = self.net.node(fo);
+            if fo_node.kind().is_source() {
+                continue; // DFF consumers handled by the equality above
+            }
+            let out = tv::eval_gate_tv(
+                fo_node.kind(),
+                fo_node.fanins().iter().map(|f| self.frame_val(frame, *f)),
+            );
+            if out.is_specified() {
+                self.post(var_of(self.n, frame, fo), out, queue)?;
+            }
+            // The fanout gate's output may already be specified: new input
+            // information can force its remaining inputs.
+            self.justify(frame, fo, queue)?;
+        }
+
+        // Backward: justify this gate itself.
+        self.justify(frame, node, queue)?;
+        Ok(())
+    }
+
+    /// Backward justification: when a gate's output value leaves only one
+    /// way to assign its remaining inputs, make those assignments.
+    fn justify(&mut self, frame: Frame, node: NodeId, queue: &mut Vec<usize>) -> Result<(), Conflict> {
+        let nd = self.net.node(node);
+        let kind = nd.kind();
+        if kind.is_source() {
+            return Ok(());
+        }
+        let out = self.frame_val(frame, node);
+        let Some(out) = out.to_bool() else {
+            return Ok(());
+        };
+        let fanins: Vec<NodeId> = nd.fanins().to_vec();
+        match kind {
+            GateKind::Not => {
+                self.post(var_of(self.n, frame, fanins[0]), Trit::from_bool(!out), queue)?;
+            }
+            GateKind::Buf => {
+                self.post(var_of(self.n, frame, fanins[0]), Trit::from_bool(out), queue)?;
+            }
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                let inverted = kind.inverts();
+                let conj = matches!(kind, GateKind::And | GateKind::Nand);
+                // Effective output of the underlying AND/OR.
+                let eff = out ^ inverted;
+                let noncontrolling = conj; // AND: 1, OR: 0
+                if eff == noncontrolling {
+                    // All inputs take the non-controlling value.
+                    for f in fanins {
+                        self.post(
+                            var_of(self.n, frame, f),
+                            Trit::from_bool(noncontrolling),
+                            queue,
+                        )?;
+                    }
+                } else {
+                    // Some input is controlling: force it only when it is
+                    // the last unspecified one and all others are
+                    // non-controlling.
+                    let mut unspec = None;
+                    let mut nc_count = 0usize;
+                    for &f in &fanins {
+                        match self.frame_val(frame, f).to_bool() {
+                            None => {
+                                if unspec.replace(f).is_some() {
+                                    return Ok(()); // two unknowns: nothing forced
+                                }
+                            }
+                            Some(v) if v == noncontrolling => nc_count += 1,
+                            Some(_) => return Ok(()), // already controlled
+                        }
+                    }
+                    if let Some(f) = unspec {
+                        if nc_count == fanins.len() - 1 {
+                            self.post(
+                                var_of(self.n, frame, f),
+                                Trit::from_bool(!noncontrolling),
+                                queue,
+                            )?;
+                        }
+                    }
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut unspec = None;
+                let mut parity = false;
+                for &f in &fanins {
+                    match self.frame_val(frame, f).to_bool() {
+                        None => {
+                            if unspec.replace(f).is_some() {
+                                return Ok(());
+                            }
+                        }
+                        Some(v) => parity ^= v,
+                    }
+                }
+                if let Some(f) = unspec {
+                    let invert = kind == GateKind::Xnor;
+                    self.post(
+                        var_of(self.n, frame, f),
+                        Trit::from_bool(out ^ parity ^ invert),
+                        queue,
+                    )?;
+                }
+            }
+            GateKind::Input | GateKind::Dff => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::s27;
+
+    fn v(net: &Netlist, name: &str) -> NodeId {
+        net.find(name).unwrap()
+    }
+
+    #[test]
+    fn forward_implication() {
+        let net = s27();
+        let n = net.num_nodes();
+        let mut imp = Implicator::new(&net);
+        // G8 = AND(G14, G6): G14 = 0 forces G8 = 0.
+        imp.assign(var_of(n, Frame::First, v(&net, "G14")), false).unwrap();
+        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G8"))), Trit::Zero);
+        // And backward through the NOT: G14 = 0 -> G0 = 1.
+        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G0"))), Trit::One);
+    }
+
+    #[test]
+    fn backward_all_inputs_forced() {
+        let net = s27();
+        let n = net.num_nodes();
+        let mut imp = Implicator::new(&net);
+        // G9 = NAND(G16, G15) = 0 forces G16 = G15 = 1.
+        imp.assign(var_of(n, Frame::First, v(&net, "G9")), false).unwrap();
+        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G16"))), Trit::One);
+        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G15"))), Trit::One);
+    }
+
+    #[test]
+    fn last_input_forced() {
+        let net = s27();
+        let n = net.num_nodes();
+        let mut imp = Implicator::new(&net);
+        // G8 = AND(G14, G6) = 1 with nothing else -> both inputs 1.
+        imp.assign(var_of(n, Frame::First, v(&net, "G8")), true).unwrap();
+        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G14"))), Trit::One);
+        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G6"))), Trit::One);
+        // G14 = NOT(G0) = 1 -> G0 = 0.
+        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G0"))), Trit::Zero);
+    }
+
+    #[test]
+    fn cross_frame_link_both_directions() {
+        let net = s27();
+        let n = net.num_nodes();
+        // Frame-2 G5 (DFF) = 1 -> frame-1 G10 = 1 (its D driver).
+        let mut imp = Implicator::new(&net);
+        imp.assign(var_of(n, Frame::Second, v(&net, "G5")), true).unwrap();
+        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G10"))), Trit::One);
+        // Reverse: frame-1 G10 = 0 -> frame-2 G5 = 0.
+        let mut imp = Implicator::new(&net);
+        imp.assign(var_of(n, Frame::First, v(&net, "G10")), false).unwrap();
+        assert_eq!(imp.value(var_of(n, Frame::Second, v(&net, "G5"))), Trit::Zero);
+    }
+
+    #[test]
+    fn conflict_detected_and_rollback_restores() {
+        let net = s27();
+        let n = net.num_nodes();
+        let mut imp = Implicator::new(&net);
+        let mark = imp.checkpoint();
+        imp.assign(var_of(n, Frame::First, v(&net, "G14")), false).unwrap();
+        // G14 = NOT(G0), so G0 = 1 is implied; asserting G0 = 0 conflicts.
+        let r = imp.assign(var_of(n, Frame::First, v(&net, "G0")), false);
+        assert!(r.is_err());
+        imp.rollback(mark);
+        for var in 0..2 * n {
+            assert_eq!(imp.value(var), Trit::X, "var {var} not rolled back");
+        }
+    }
+
+    #[test]
+    fn implications_agree_with_three_valued_simulation() {
+        // Whatever the implicator derives forward must match tv simulation
+        // on fully specified source assignments.
+        let net = s27();
+        let n = net.num_nodes();
+        for combo in 0..128u32 {
+            let mut imp = Implicator::new(&net);
+            let mut ok = true;
+            for (b, &pi) in net.inputs().iter().enumerate() {
+                ok &= imp
+                    .assign(var_of(n, Frame::First, pi), (combo >> b) & 1 == 1)
+                    .is_ok();
+            }
+            for (b, &ff) in net.dffs().iter().enumerate() {
+                ok &= imp
+                    .assign(var_of(n, Frame::First, ff), (combo >> (4 + b)) & 1 == 1)
+                    .is_ok();
+            }
+            assert!(ok, "no conflicts on consistent inputs");
+            let pi_t: Vec<Trit> = (0..4)
+                .map(|b| Trit::from_bool((combo >> b) & 1 == 1))
+                .collect();
+            let st_t: Vec<Trit> = (0..3)
+                .map(|b| Trit::from_bool((combo >> (4 + b)) & 1 == 1))
+                .collect();
+            let (vals, _) = fbt_sim::tv::simulate_frame_tv(&net, &pi_t, &st_t);
+            for id in net.node_ids() {
+                assert_eq!(
+                    imp.value(var_of(n, Frame::First, id)),
+                    vals[id.index()],
+                    "node {}",
+                    net.node_name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn since_reports_new_assignments() {
+        let net = s27();
+        let n = net.num_nodes();
+        let mut imp = Implicator::new(&net);
+        let mark = imp.checkpoint();
+        imp.assign(var_of(n, Frame::First, v(&net, "G8")), true).unwrap();
+        let added = imp.since(mark);
+        assert!(!added.is_empty());
+        assert!(added.iter().any(|&(var, val)| {
+            var == var_of(n, Frame::First, v(&net, "G14")) && val
+        }));
+    }
+}

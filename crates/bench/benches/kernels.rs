@@ -1,0 +1,82 @@
+//! Criterion benches for the performance kernels: packed logic simulation,
+//! broadside fault simulation, the TPG hardware model and K-critical-path
+//! STA. These correspond to the per-sub-procedure run-time comparisons of
+//! Tables 2.5 / 2.6 at kernel granularity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fbt_bist::{cube, Tpg, TpgSpec};
+use fbt_fault::sim::FaultSim;
+use fbt_fault::{all_transition_faults, BroadsideTest};
+use fbt_netlist::rng::Rng;
+use fbt_netlist::synth;
+use fbt_sim::comb;
+use fbt_timing::sta::{k_critical_paths, Unconstrained};
+use fbt_timing::DelayLibrary;
+
+fn net_1196() -> fbt_netlist::Netlist {
+    synth::generate(&synth::find("s1196").unwrap())
+}
+
+fn random_tests(net: &fbt_netlist::Netlist, n: usize, seed: u64) -> Vec<BroadsideTest> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            BroadsideTest::new(
+                (0..net.num_dffs()).map(|_| rng.bit()).collect(),
+                (0..net.num_inputs()).map(|_| rng.bit()).collect(),
+                (0..net.num_inputs()).map(|_| rng.bit()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_packed_eval(c: &mut Criterion) {
+    let net = net_1196();
+    let mut vals = vec![0u64; net.num_nodes()];
+    let mut rng = Rng::new(1);
+    for v in vals.iter_mut() {
+        *v = rng.next_u64();
+    }
+    c.bench_function("packed_eval_s1196_64pat", |b| {
+        b.iter(|| {
+            comb::eval_packed(&net, black_box(&mut vals));
+        })
+    });
+}
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let net = net_1196();
+    let faults = all_transition_faults(&net);
+    let tests = random_tests(&net, 256, 2);
+    c.bench_function("fault_sim_s1196_256tests", |b| {
+        b.iter(|| {
+            let mut fsim = FaultSim::new(&net);
+            let mut detected = vec![false; faults.len()];
+            black_box(fsim.run(&tests, &faults, &mut detected))
+        })
+    });
+}
+
+fn bench_tpg(c: &mut Criterion) {
+    let net = net_1196();
+    let spec = TpgSpec::standard(cube::input_cube(&net));
+    c.bench_function("tpg_s1196_1000cycles", |b| {
+        b.iter(|| {
+            let mut tpg = Tpg::new(spec.clone(), 0xACE1);
+            black_box(tpg.sequence(1000))
+        })
+    });
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let net = synth::generate(&synth::find("s953").unwrap());
+    let lib = DelayLibrary::generic_018um();
+    c.bench_function("k_critical_paths_s953_k200", |b| {
+        b.iter(|| black_box(k_critical_paths(&net, &lib, 200, &Unconstrained, 1_000_000)))
+    });
+}
+
+criterion_group!(benches, bench_packed_eval, bench_fault_sim, bench_tpg, bench_sta);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: state-holding parameters — hold period 2^h and set-selection
+//! tree height H (paper §4.5; the paper fixes h = 2, H = 6).
+
+use fbt_bench::{pct, Scale, Table};
+use fbt_core::driver::DrivingBlock;
+use fbt_core::{
+    generate_constrained, improve_with_holding, improve_with_holding_greedy, swafunc,
+    FunctionalBistConfig,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let base_cfg = scale.bist_config();
+    let name = match scale {
+        Scale::Smoke => "s298",
+        _ => "spi",
+    };
+    let net = fbt_bench::circuit(scale, name);
+    // A deliberately tightened bound leaves coverage on the table.
+    let bound = swafunc(&net, &DrivingBlock::Buffers, &base_cfg) * 0.8;
+    let base = generate_constrained(&net, bound, &base_cfg);
+    println!(
+        "{}: functional-broadside coverage {:.2}% (bound {:.2}%)",
+        net.name(),
+        base.fault_coverage(),
+        bound * 100.0
+    );
+    let mut t = Table::new(&[
+        "h (hold every 2^h)", "selection", "H", "Nh", "Nbits", "FC Imp. %", "Final FC %",
+    ]);
+    for h in [1u32, 2, 3] {
+        for tree in [2u32, 3] {
+            let cfg = FunctionalBistConfig {
+                hold_period_log2: h,
+                hold_tree_height: tree,
+                ..base_cfg.clone()
+            };
+            for (label, out) in [
+                ("tree (§4.5.2)", improve_with_holding(&net, bound, &cfg, &base)),
+                ("greedy (§5.1)", improve_with_holding_greedy(&net, bound, &cfg, &base)),
+            ] {
+                t.row(vec![
+                    h.to_string(),
+                    label.to_string(),
+                    tree.to_string(),
+                    out.sets.len().to_string(),
+                    out.nbits().to_string(),
+                    pct(out.improvement()),
+                    pct(out.final_coverage()),
+                ]);
+            }
+        }
+    }
+    t.print(&format!("Ablation: state-holding parameters [{scale:?}]"));
+}

@@ -1,0 +1,82 @@
+//! Ablation: the developed TPG (fixed 32-stage LFSR + shift register,
+//! Fig. 4.8) vs. the TPG of \[73\] (dedicated LFSR stages per input, Fig. 4.7)
+//! vs. a weighted-random TPG — coverage per test budget and register cost.
+//!
+//! The paper's motivation for Fig. 4.8 is hardware: \[73\]'s LFSR grows
+//! linearly with the input count. The ablation verifies the coverage cost of
+//! that substitution is negligible.
+
+use fbt_bench::{pct, Scale, Table};
+use fbt_bist::{cube, Tpg, Tpg73, TpgSpec, WeightedTpg};
+use fbt_fault::sim::FaultSim;
+use fbt_fault::{all_transition_faults, collapse};
+use fbt_netlist::rng::Rng;
+use fbt_sim::seq::simulate_sequence;
+use fbt_sim::Bits;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = scale.bist_config();
+    let circuits = match scale {
+        Scale::Smoke => vec!["s298"],
+        _ => vec!["s298", "s953", "s1196", "spi"],
+    };
+    let n_seeds = 8;
+    let mut t = Table::new(&[
+        "Circuit", "TPG", "LFSR+SR bits", "Ntests", "FC %",
+    ]);
+    for name in circuits {
+        let net = fbt_bench::circuit(scale, name);
+        let c = cube::input_cube(&net);
+        let faults = collapse(&net, &all_transition_faults(&net));
+        let zero = Bits::zeros(net.num_dffs());
+        let spec = TpgSpec {
+            lfsr_width: cfg.lfsr_width,
+            m: cfg.m,
+            cube: c.clone(),
+        };
+
+        let mut run = |label: &str, bits: usize, mut gen: Box<dyn FnMut(u64) -> Vec<Bits>>| {
+            let mut rng = Rng::new(cfg.master_seed);
+            let mut fsim = FaultSim::new(&net);
+            let mut detected = vec![false; faults.len()];
+            let mut ntests = 0usize;
+            for _ in 0..n_seeds {
+                let pis = gen(rng.next_u64());
+                let traj = simulate_sequence(&net, &zero, &pis);
+                let tests = fbt_core::extract::functional_tests(&pis, &traj.states);
+                ntests += tests.len();
+                fsim.run(&tests, &faults, &mut detected);
+            }
+            t.row(vec![
+                net.name().to_string(),
+                label.to_string(),
+                bits.to_string(),
+                ntests.to_string(),
+                pct(fbt_fault::sim::coverage_percent(&detected)),
+            ]);
+        };
+
+        let spec_clone = spec.clone();
+        let len = cfg.seq_len;
+        run(
+            "Fig4.8 (developed)",
+            32 + spec.shift_register_len(),
+            Box::new(move |seed| Tpg::new(spec_clone.clone(), seed).sequence(len)),
+        );
+        let c73 = c.clone();
+        let d = 4;
+        run(
+            "Fig4.7 ([73])",
+            d * net.num_inputs(),
+            Box::new(move |seed| Tpg73::new(c73.clone(), d, cfg.m, seed).sequence(len)),
+        );
+        let cw = c.clone();
+        run(
+            "weighted random",
+            32,
+            Box::new(move |seed| WeightedTpg::from_cube(&cw, seed).sequence(len)),
+        );
+    }
+    t.print(&format!("Ablation: TPG architectures [{scale:?}]"));
+}

@@ -1,0 +1,35 @@
+//! N-detection profile of the built-in-generated test set (§4.1: "it is
+//! easy to apply a large number of tests with built-in test generation …
+//! N-detection is naturally achieved").
+
+use fbt_bench::{pct, Scale, Table};
+use fbt_core::constrained::replay_tests;
+use fbt_core::driver::DrivingBlock;
+use fbt_core::{generate_constrained, swafunc};
+use fbt_fault::sim::{n_detect_coverage, FaultSim};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = scale.bist_config();
+    let circuits = match scale {
+        Scale::Smoke => vec!["s298"],
+        _ => vec!["s298", "s953", "spi"],
+    };
+    let ns = [1usize, 2, 3, 5, 10];
+    let mut header = vec!["Circuit".to_string(), "Ntests".to_string()];
+    header.extend(ns.iter().map(|n| format!("FC@n={n} %")));
+    let hrefs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hrefs);
+    for name in circuits {
+        let net = fbt_bench::circuit(scale, name);
+        let bound = swafunc(&net, &DrivingBlock::Buffers, &cfg);
+        let out = generate_constrained(&net, bound, &cfg);
+        let tests = replay_tests(&net, &out, &cfg);
+        let mut fsim = FaultSim::new(&net);
+        let counts = fsim.run_n_detect(&tests, &out.faults, 10);
+        let mut row = vec![net.name().to_string(), tests.len().to_string()];
+        row.extend(ns.iter().map(|&n| pct(n_detect_coverage(&counts, n))));
+        t.row(row);
+    }
+    t.print(&format!("N-detection profile of on-chip test sets [{scale:?}]"));
+}

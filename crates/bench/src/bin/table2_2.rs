@@ -1,0 +1,23 @@
+//! Table 2.2 — TPDF test generation from the longest paths downwards.
+
+use fbt_bench::{ch2, fmt_duration, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut t = Table::new(&[
+        "Circuit", "No. of faults", "No. of Det.", "No. of Undet.", "No. of Abr.", "Run time",
+    ]);
+    for run in ch2::run_large(scale) {
+        t.row(vec![
+            run.name,
+            run.num_faults.to_string(),
+            run.report.num_detected().to_string(),
+            run.report.num_undetectable().to_string(),
+            run.report.num_aborted().to_string(),
+            fmt_duration(run.elapsed),
+        ]);
+    }
+    t.print(&format!(
+        "Table 2.2: results of test generation (longest paths first) [{scale:?}]"
+    ));
+}

@@ -1,0 +1,42 @@
+//! Tables 2.3 / 2.4 — faults decided per sub-procedure.
+
+use fbt_atpg::tpdf::SubProcedure;
+use fbt_bench::{ch2, Scale, Table};
+
+fn print_counts(title: &str, runs: &[ch2::Ch2Run]) {
+    let mut t = Table::new(&["Circuit", "Prep. Proc.", "FSim Proc.", "Heur. Proc.", "Bran. Proc."]);
+    for run in runs {
+        let det = |p: SubProcedure| {
+            run.report.stats.detected.get(&p).copied().unwrap_or(0)
+        };
+        let undet_prep = run
+            .report
+            .stats
+            .undetectable
+            .get(&SubProcedure::Preprocess)
+            .copied()
+            .unwrap_or(0);
+        // Paper's first column: upper bound on detectable faults after
+        // preprocessing removed the provably undetectable ones.
+        t.row(vec![
+            run.name.clone(),
+            (run.num_faults - undet_prep).to_string(),
+            det(SubProcedure::FaultSim).to_string(),
+            det(SubProcedure::Heuristic).to_string(),
+            det(SubProcedure::BranchBound).to_string(),
+        ]);
+    }
+    t.print(title);
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print_counts(
+        &format!("Table 2.3: detections per sub-procedure (all paths) [{scale:?}]"),
+        &ch2::run_small(scale),
+    );
+    print_counts(
+        &format!("Table 2.4: detections per sub-procedure (longest paths) [{scale:?}]"),
+        &ch2::run_large(scale),
+    );
+}

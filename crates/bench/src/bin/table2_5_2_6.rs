@@ -1,0 +1,44 @@
+//! Tables 2.5 / 2.6 — run time per sub-procedure.
+
+use fbt_atpg::tpdf::SubProcedure;
+use fbt_bench::{ch2, fmt_duration, Scale, Table};
+use std::time::Duration;
+
+fn print_times(title: &str, runs: &[ch2::Ch2Run]) {
+    let mut t = Table::new(&[
+        "Circuit", "TG for Tran.", "Prep. Proc.", "FSim Proc.", "Heur. Proc.", "Bran. Proc.",
+    ]);
+    for run in runs {
+        let time = |p: SubProcedure| {
+            fmt_duration(
+                run.report
+                    .stats
+                    .times
+                    .get(&p)
+                    .copied()
+                    .unwrap_or(Duration::ZERO),
+            )
+        };
+        t.row(vec![
+            run.name.clone(),
+            fmt_duration(run.report.stats.tf_generation_time),
+            time(SubProcedure::Preprocess),
+            time(SubProcedure::FaultSim),
+            time(SubProcedure::Heuristic),
+            time(SubProcedure::BranchBound),
+        ]);
+    }
+    t.print(title);
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print_times(
+        &format!("Table 2.5: run time per sub-procedure (all paths) [{scale:?}]"),
+        &ch2::run_small(scale),
+    );
+    print_times(
+        &format!("Table 2.6: run time per sub-procedure (longest paths) [{scale:?}]"),
+        &ch2::run_large(scale),
+    );
+}

@@ -1,0 +1,27 @@
+//! Table 3.2 — Target_PDF size before and after delay recalculation.
+
+use fbt_bench::{ch3, Scale, Table};
+use fbt_timing::DelayLibrary;
+
+fn main() {
+    let scale = Scale::from_env();
+    let lib = DelayLibrary::generic_018um();
+    let sweep = scale.n_sweep();
+    let mut header: Vec<String> = vec!["Circuit".into(), "".into()];
+    header.extend(sweep.iter().map(|n| n.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for name in ch3::circuits(scale) {
+        let net = fbt_bench::circuit(scale, name);
+        let mut original = vec![name.to_string(), "original".to_string()];
+        let mut fin = vec![String::new(), "final".to_string()];
+        for &n in &sweep {
+            let sel = ch3::selection(&net, &lib, n);
+            original.push(sel.initial_count.to_string());
+            fin.push(sel.target.len().to_string());
+        }
+        t.row(original);
+        t.row(fin);
+    }
+    t.print(&format!("Table 3.2: path group size comparison [{scale:?}]"));
+}

@@ -1,0 +1,29 @@
+//! Table 3.3 — number of path delay faults unique to the refined selection.
+
+use fbt_bench::{ch3, Scale, Table};
+use fbt_timing::DelayLibrary;
+
+fn main() {
+    let scale = Scale::from_env();
+    let lib = DelayLibrary::generic_018um();
+    let sweep = scale.n_sweep();
+    let mut header: Vec<String> = vec!["Circuit".into()];
+    header.extend(sweep.iter().map(|n| n.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for name in ch3::circuits(scale) {
+        let net = fbt_bench::circuit(scale, name);
+        let mut row = vec![name.to_string()];
+        for &n in &sweep {
+            let sel = ch3::selection(&net, &lib, n);
+            let trad = ch3::traditional_top(&sel, n);
+            let refined = ch3::refined_top(&sel, n);
+            let unique = refined.difference(&trad).count();
+            row.push(unique.to_string());
+        }
+        t.row(row);
+    }
+    t.print(&format!(
+        "Table 3.3: number of different path delay faults [{scale:?}]"
+    ));
+}

@@ -1,0 +1,53 @@
+//! Table 3.4 — original / final / after-test-generation path delays.
+
+use fbt_atpg::podem::Podem;
+use fbt_atpg::PodemConfig;
+use fbt_bench::{ch3, Scale, Table};
+use fbt_timing::DelayLibrary;
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale::from_env();
+    let circuit_name = match scale {
+        Scale::Paper => "s13207",
+        _ => "s953",
+    };
+    let net = fbt_bench::circuit(scale, circuit_name);
+    let lib = DelayLibrary::generic_018um();
+    let sel = ch3::selection(&net, &lib, 16);
+    let mut podem = Podem::new(
+        &net,
+        PodemConfig {
+            backtrack_limit: 20_000,
+            time_limit: Duration::from_secs(5),
+        },
+    );
+    let unit = lib.unit();
+    let mut t = Table::new(&[
+        "Path delay fault", "original", "final", "after TG", "diff", "diff_unit",
+    ]);
+    let mut shown = 0usize;
+    for (i, f) in sel.target.iter().enumerate() {
+        if shown >= 10 {
+            break;
+        }
+        let Some(after) = ch3::delay_after_test_generation(&net, &lib, &f.fault, &mut podem)
+        else {
+            continue;
+        };
+        shown += 1;
+        let diff = f.original_delay - f.final_delay;
+        t.row(vec![
+            format!("fp{}", i + 1),
+            format!("{:.3}", f.original_delay),
+            format!("{:.3}", f.final_delay),
+            format!("{:.3}", after),
+            format!("{:.3}", diff),
+            format!("{:.1}", diff / unit),
+        ]);
+    }
+    t.print(&format!(
+        "Table 3.4: path delay comparison of {} [{scale:?}]",
+        net.name()
+    ));
+}

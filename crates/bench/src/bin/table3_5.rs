@@ -1,0 +1,50 @@
+//! Table 3.5 — how often the recalculated delay is closer to the delay under
+//! a generated test.
+
+use fbt_atpg::podem::Podem;
+use fbt_atpg::PodemConfig;
+use fbt_bench::{ch3, pct, Scale, Table};
+use fbt_timing::DelayLibrary;
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale::from_env();
+    let lib = DelayLibrary::generic_018um();
+    let n = match scale {
+        Scale::Smoke => 10,
+        Scale::Default => 50,
+        Scale::Paper => 1000,
+    };
+    let mut t = Table::new(&["Circuit", "Pct. 1 %", "Pct. 2 %"]);
+    for name in ch3::circuits(scale) {
+        let net = fbt_bench::circuit(scale, name);
+        let sel = ch3::selection(&net, &lib, n);
+        let mut podem = Podem::new(
+            &net,
+            PodemConfig {
+                backtrack_limit: 5_000,
+                time_limit: Duration::from_secs(2),
+            },
+        );
+        let mut differs = 0usize;
+        let mut closer = 0usize;
+        let mut tested = 0usize;
+        for f in sel.target.iter().take(n) {
+            let Some(after) = ch3::delay_after_test_generation(&net, &lib, &f.fault, &mut podem)
+            else {
+                continue;
+            };
+            tested += 1;
+            if (f.original_delay - after).abs() > 1e-9 {
+                differs += 1;
+                if (f.final_delay - after).abs() < (f.original_delay - after).abs() - 1e-12 {
+                    closer += 1;
+                }
+            }
+        }
+        let p1 = if tested > 0 { 100.0 * differs as f64 / tested as f64 } else { 0.0 };
+        let p2 = if differs > 0 { 100.0 * closer as f64 / differs as f64 } else { 0.0 };
+        t.row(vec![name.to_string(), pct(p1), pct(p2)]);
+    }
+    t.print(&format!("Table 3.5: path delay comparison [{scale:?}]"));
+}

@@ -1,0 +1,25 @@
+//! Table 4.2 — benchmark circuit parameters.
+
+use fbt_bench::{Scale, Table};
+use fbt_core::experiment::circuit_params;
+
+fn main() {
+    let scale = Scale::from_env();
+    let names = [
+        "s35932", "s38584", "b14", "b20", "spi", "wb_dma", "systemcaes", "systemcdes",
+        "des_area", "aes_core", "wb_conmax", "des_perf",
+    ];
+    let mut t = Table::new(&["Circuit", "NPO", "Nin", "Np", "NSV"]);
+    for name in names {
+        let net = fbt_bench::circuit(scale, name);
+        let p = circuit_params(&net);
+        t.row(vec![
+            p.name,
+            p.npo.to_string(),
+            p.npi.to_string(),
+            p.nsp.to_string(),
+            p.nsv.to_string(),
+        ]);
+    }
+    t.print(&format!("Table 4.2: parameters for benchmark circuits [{scale:?}]"));
+}

@@ -1,0 +1,36 @@
+//! Table 4.3 — built-in generation of functional broadside tests considering
+//! primary input constraints.
+
+use fbt_bench::{ch4, pct, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut t = Table::new(&[
+        "Circuit", "Lsc", "Driving block", "Nmulti", "Nsegmax", "Lmax", "SWAfunc %", "Nseeds",
+        "Ntests", "SWA %", "FC %", "HW Area (um2)", "Area Over. %",
+    ]);
+    for (target_name, driver_names) in ch4::pairs(scale) {
+        let target = fbt_bench::circuit(scale, target_name);
+        for (label, driving) in ch4::admissible_drivers(scale, &target, &driver_names) {
+            let (row, _) = ch4::constrained_cell(scale, &target, &driving);
+            t.row(vec![
+                format!("{} ({})", row.target, row.num_faults),
+                row.lsc.to_string(),
+                label,
+                row.nmulti.to_string(),
+                row.nsegmax.to_string(),
+                row.lmax.to_string(),
+                pct(row.swafunc_pct),
+                row.nseeds.to_string(),
+                row.ntests.to_string(),
+                pct(row.swa_pct),
+                pct(row.fc_pct),
+                format!("{:.0}", row.hw_area),
+                pct(row.overhead_pct),
+            ]);
+        }
+    }
+    t.print(&format!(
+        "Table 4.3: built-in test generation considering primary input constraints [{scale:?}]"
+    ));
+}

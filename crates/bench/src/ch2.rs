@@ -1,0 +1,141 @@
+//! Chapter 2 experiment runners (Tables 2.1–2.6).
+
+use std::time::{Duration, Instant};
+
+use fbt_atpg::tpdf::{run_pipeline, TpdfReport};
+
+use fbt_fault::path::{enumerate_paths, enumerate_paths_at_least, tpdf_list};
+
+use crate::Scale;
+
+/// One circuit's chapter-2 result.
+#[derive(Debug)]
+pub struct Ch2Run {
+    /// Circuit name.
+    pub name: String,
+    /// Number of targeted transition path delay faults.
+    pub num_faults: usize,
+    /// The pipeline report.
+    pub report: TpdfReport,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The circuits used for the "enumerate all paths" experiments, per scale.
+pub fn small_circuits(scale: Scale) -> Vec<&'static str> {
+    match scale {
+        Scale::Smoke => vec!["s298", "s344", "s386"],
+        Scale::Default => vec![
+            "s298", "s344", "s349", "s382", "s386", "s444", "s510", "s526", "s820", "s832",
+        ],
+        Scale::Paper => vec![
+            "s298", "s344", "s349", "s382", "s386", "s444", "s510", "s526", "s641", "s713",
+            "s820", "s832", "s953", "s1196", "s1238", "s1488", "s1494",
+        ],
+    }
+}
+
+/// The circuits for the "longest paths until enough detections" experiments.
+pub fn large_circuits(scale: Scale) -> Vec<&'static str> {
+    match scale {
+        Scale::Smoke => vec!["s1423"],
+        Scale::Default => vec!["s1423", "s5378", "s9234"],
+        Scale::Paper => vec![
+            "s1423", "s5378", "s9234", "s13207", "s35932", "s38417", "s38584",
+        ],
+    }
+}
+
+/// Run the pipeline with full path enumeration (Table 2.1 protocol).
+pub fn run_small(scale: Scale) -> Vec<Ch2Run> {
+    let cfg = scale.tpdf_config();
+    small_circuits(scale)
+        .into_iter()
+        .map(|name| {
+            let net = crate::circuit(scale, name);
+            let paths = enumerate_paths(&net, scale.path_cap() / 2);
+            let faults = tpdf_list(&paths);
+            let t0 = Instant::now();
+            let report = run_pipeline(&net, &faults, &cfg);
+            Ch2Run {
+                name: name.to_string(),
+                num_faults: faults.len(),
+                report,
+                elapsed: t0.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// Run the pipeline targeting faults from the longest paths downwards until
+/// at least `scale.detect_target()` faults are detected or the path budget
+/// is exhausted (Table 2.2 protocol: "we considered faults from the longest
+/// paths to the shorter ones until at least 1000 detected faults were
+/// found").
+pub fn run_large(scale: Scale) -> Vec<Ch2Run> {
+    let cfg = scale.tpdf_config();
+    let target = scale.detect_target();
+    large_circuits(scale)
+        .into_iter()
+        .map(|name| {
+            let net = crate::circuit(scale, name);
+            let t0 = Instant::now();
+            // All paths within budget, longest first.
+            let chosen = enumerate_paths_at_least(&net, 2, scale.path_cap());
+            let faults = tpdf_list(&chosen);
+            // Process in waves of decreasing length until enough detections.
+            let mut merged: Option<TpdfReport> = None;
+            let mut offset = 0usize;
+            let wave = 600usize;
+            while offset < faults.len() {
+                let end = (offset + wave).min(faults.len());
+                let report = run_pipeline(&net, &faults[offset..end], &cfg);
+                offset = end;
+                merged = Some(match merged {
+                    None => report,
+                    Some(mut acc) => {
+                        acc.statuses.extend(report.statuses);
+                        for (k, v) in report.stats.detected {
+                            *acc.stats.detected.entry(k).or_insert(0) += v;
+                        }
+                        for (k, v) in report.stats.undetectable {
+                            *acc.stats.undetectable.entry(k).or_insert(0) += v;
+                        }
+                        for (k, v) in report.stats.times {
+                            *acc.stats.times.entry(k).or_insert(Duration::ZERO) += v;
+                        }
+                        acc.stats.tf_generation_time += report.stats.tf_generation_time;
+                        acc
+                    }
+                });
+                if merged.as_ref().is_some_and(|r| r.num_detected() >= target) {
+                    break;
+                }
+            }
+            let report = merged.expect("at least one wave ran");
+            Ch2Run {
+                name: name.to_string(),
+                num_faults: report.statuses.len(),
+                report,
+                elapsed: t0.elapsed(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_small_runs() {
+        let runs = run_small(Scale::Smoke);
+        assert_eq!(runs.len(), 3);
+        for r in &runs {
+            assert_eq!(
+                r.num_faults,
+                r.report.num_detected() + r.report.num_undetectable() + r.report.num_aborted()
+            );
+        }
+    }
+}

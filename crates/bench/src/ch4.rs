@@ -1,0 +1,103 @@
+//! Chapter 4 experiment runners (Tables 4.1–4.4).
+
+use fbt_core::driver::DrivingBlock;
+use fbt_core::experiment::{
+    run_constrained_experiment, run_holding_experiment, ConstrainedRow, HoldingRow,
+};
+use fbt_core::ConstrainedOutcome;
+use fbt_netlist::Netlist;
+
+use crate::Scale;
+
+/// The (target, drivers) pairs of Table 4.3: every target is evaluated with
+/// unconstrained `buffers` plus representative driving blocks (the paper
+/// lists the blocks producing the highest and lowest `SWAfunc`).
+pub fn pairs(scale: Scale) -> Vec<(&'static str, Vec<&'static str>)> {
+    match scale {
+        Scale::Smoke => vec![("s35932", vec!["spi"]), ("spi", vec!["wb_dma"])],
+        Scale::Default => vec![
+            ("s35932", vec!["aes_core", "spi"]),
+            ("s38584", vec!["des_area", "wb_conmax"]),
+            ("b14", vec!["systemcdes", "aes_core"]),
+            ("spi", vec!["wb_conmax", "wb_dma"]),
+            ("systemcdes", vec!["wb_dma", "s38584"]),
+            ("des_area", vec!["wb_conmax"]),
+        ],
+        Scale::Paper => vec![
+            ("s35932", vec!["aes_core", "spi"]),
+            ("s38584", vec!["des_area", "wb_conmax"]),
+            ("b14", vec!["systemcdes", "aes_core"]),
+            ("b20", vec!["aes_core", "spi"]),
+            ("spi", vec!["wb_conmax", "wb_dma"]),
+            ("wb_dma", vec!["wb_conmax", "s35932"]),
+            ("systemcaes", vec!["wb_conmax", "s35932"]),
+            ("systemcdes", vec!["wb_dma", "s38584"]),
+            ("des_area", vec!["wb_conmax", "des_area"]),
+            ("aes_core", vec!["wb_conmax", "s35932"]),
+            ("wb_conmax", vec!["wb_conmax"]),
+            ("des_perf", vec!["wb_conmax", "s38584"]),
+        ],
+    }
+}
+
+/// Build a driving block (scaled like the targets).
+pub fn driver(scale: Scale, name: &str) -> DrivingBlock {
+    DrivingBlock::Circuit(crate::circuit(scale, name))
+}
+
+/// Run one Table 4.3 cell.
+pub fn constrained_cell(
+    scale: Scale,
+    target: &Netlist,
+    driving: &DrivingBlock,
+) -> (ConstrainedRow, ConstrainedOutcome) {
+    let cfg = scale.bist_config();
+    run_constrained_experiment(target, driving, &cfg)
+}
+
+/// Run one Table 4.4 cell on top of a constrained outcome.
+pub fn holding_cell(
+    scale: Scale,
+    target: &Netlist,
+    driving: &DrivingBlock,
+    base: &ConstrainedOutcome,
+) -> HoldingRow {
+    let cfg = scale.bist_config();
+    run_holding_experiment(target, driving, &cfg, base).0
+}
+
+/// Drivers are only admissible when wide enough (§4.6 pairing rule); filter
+/// a candidate list for a target.
+pub fn admissible_drivers(
+    scale: Scale,
+    target: &Netlist,
+    names: &[&'static str],
+) -> Vec<(String, DrivingBlock)> {
+    let mut out = vec![("buffers".to_string(), DrivingBlock::Buffers)];
+    for name in names {
+        let d = driver(scale, name);
+        if d.can_drive(target) {
+            out.push((name.to_string(), d));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_listed_for_every_scale() {
+        for s in [Scale::Smoke, Scale::Default, Scale::Paper] {
+            assert!(!pairs(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn buffers_always_admissible() {
+        let target = crate::circuit(Scale::Smoke, "spi");
+        let ds = admissible_drivers(Scale::Smoke, &target, &["s298"]);
+        assert_eq!(ds[0].0, "buffers");
+    }
+}

@@ -1,0 +1,236 @@
+//! Gate-equivalent area model (the paper's Design Compiler runs).
+//!
+//! The paper synthesizes both the benchmark circuits and the test hardware
+//! with a generic 0.18 µm library and reports the hardware area in µm² plus
+//! its percentage of the circuit area (Tables 4.3 / 4.4). This module prices
+//! the same inventory with per-cell areas representative of such a library
+//! (scan-equivalent flip-flops, 2-input gates, clock-gating cells). Absolute
+//! numbers are a model, not a sign-off; the *trend* — hardware area roughly
+//! constant across circuits, overhead shrinking with circuit size, state
+//! holding adding little — is what the tables check.
+
+use fbt_netlist::{GateKind, Netlist};
+
+/// Per-cell areas in µm² for a generic 0.18 µm-style standard-cell library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellLibrary {
+    /// Inverter.
+    pub inv: f64,
+    /// Buffer.
+    pub buf: f64,
+    /// 2-input NAND / NOR.
+    pub nand2: f64,
+    /// 2-input AND / OR.
+    pub and2: f64,
+    /// 2-input XOR / XNOR.
+    pub xor2: f64,
+    /// Area added per input beyond the second.
+    pub per_extra_input: f64,
+    /// Scan-equivalent D flip-flop.
+    pub dff: f64,
+    /// Transparent latch.
+    pub latch: f64,
+    /// Latch-based clock-gating cell (Fig. 4.10).
+    pub clock_gate: f64,
+    /// 2-to-1 multiplexer.
+    pub mux2: f64,
+}
+
+impl CellLibrary {
+    /// The default library used by all experiments.
+    pub const fn generic_018um() -> Self {
+        CellLibrary {
+            inv: 13.0,
+            buf: 16.0,
+            nand2: 16.0,
+            and2: 21.0,
+            xor2: 36.0,
+            per_extra_input: 8.0,
+            dff: 100.0,
+            latch: 50.0,
+            clock_gate: 60.0,
+            mux2: 33.0,
+        }
+    }
+
+    /// Area of one combinational gate of `kind` with `fanin` inputs.
+    pub fn gate(&self, kind: GateKind, fanin: usize) -> f64 {
+        let extra = self.per_extra_input * fanin.saturating_sub(2) as f64;
+        match kind {
+            GateKind::Not => self.inv,
+            GateKind::Buf => self.buf,
+            GateKind::Nand | GateKind::Nor => self.nand2 + extra,
+            GateKind::And | GateKind::Or => self.and2 + extra,
+            GateKind::Xor | GateKind::Xnor => self.xor2 + extra,
+            GateKind::Dff => self.dff,
+            GateKind::Input => 0.0,
+        }
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::generic_018um()
+    }
+}
+
+/// Total standard-cell area of a circuit (µm²).
+pub fn circuit_area(net: &Netlist, lib: &CellLibrary) -> f64 {
+    net.node_ids()
+        .map(|id| {
+            let node = net.node(id);
+            lib.gate(node.kind(), node.fanins().len())
+        })
+        .sum()
+}
+
+/// Inventory of the on-chip test generation hardware.
+///
+/// Matching the paper's accounting (§4.6): the MISR and the primary-input
+/// shift register are *excluded* (reusing existing registers), the biasing
+/// gates inserted for the cube `C` are *included*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BistHardware {
+    /// LFSR width (`NLFSR`).
+    pub lfsr_width: usize,
+    /// Biasing gate fan-in `m`.
+    pub m: usize,
+    /// Number of specified cube entries (`NSP`, one biasing gate each).
+    pub biasing_gates: usize,
+    /// Clock-cycle counter width: `log2(Lmax)` bits.
+    pub cycle_counter_bits: usize,
+    /// Shift counter width: `log2(Lsc)` bits.
+    pub shift_counter_bits: usize,
+    /// Segment counter width: `log2(Nsegmax)` bits.
+    pub segment_counter_bits: usize,
+    /// Sequence counter width: `log2(Nmulti)` bits.
+    pub sequence_counter_bits: usize,
+    /// Number of hold sets (`Nh`; 0 when state holding is not used).
+    pub hold_sets: usize,
+}
+
+impl BistHardware {
+    /// Size the hardware for a test program.
+    ///
+    /// `lmax` — longest segment; `lsc` — longest scan chain; `nsegmax` —
+    /// most segments in one sequence; `nmulti` — number of sequences;
+    /// `nsp` — specified cube entries; `nh` — hold sets.
+    #[allow(clippy::too_many_arguments)] // mirrors the table's parameter list
+    pub fn for_program(
+        lfsr_width: usize,
+        m: usize,
+        nsp: usize,
+        lmax: usize,
+        lsc: usize,
+        nsegmax: usize,
+        nmulti: usize,
+        nh: usize,
+    ) -> Self {
+        let bits = |n: usize| (usize::BITS - n.max(1).leading_zeros()) as usize;
+        BistHardware {
+            lfsr_width,
+            m,
+            biasing_gates: nsp,
+            cycle_counter_bits: bits(lmax),
+            shift_counter_bits: bits(lsc),
+            segment_counter_bits: bits(nsegmax),
+            sequence_counter_bits: bits(nmulti),
+            hold_sets: nh,
+        }
+    }
+
+    /// Price the hardware (µm²).
+    pub fn area(&self, lib: &CellLibrary) -> f64 {
+        // LFSR: one DFF per stage plus feedback XORs (up to 3 taps beyond
+        // the output stage for the tabulated polynomials).
+        let lfsr = self.lfsr_width as f64 * lib.dff + 3.0 * lib.xor2;
+        // Counter: DFF + increment logic (half-adder: XOR + AND) per bit,
+        // plus a terminal-count comparator (XNOR + AND tree).
+        let counter = |bits: usize| {
+            bits as f64 * (lib.dff + lib.xor2 + lib.and2) + bits as f64 * (lib.xor2 + lib.inv)
+        };
+        let counters = counter(self.cycle_counter_bits)
+            + counter(self.shift_counter_bits)
+            + counter(self.segment_counter_bits)
+            + counter(self.sequence_counter_bits);
+        // Biasing gates: one m-input AND/OR per specified input.
+        let bias = self.biasing_gates as f64
+            * (lib.and2 + lib.per_extra_input * self.m.saturating_sub(2) as f64);
+        // Control FSM + clock gating of TPG / counters / circuit: a fixed
+        // block (state register, next-state logic, mode decoding).
+        let fsm = 8.0 * lib.dff + 60.0 * lib.nand2 + 6.0 * lib.clock_gate;
+        // State holding: set counter handled above only if used; price the
+        // per-set clock-gating cells, the decoder and the set counter.
+        let hold = if self.hold_sets > 0 {
+            let set_bits =
+                (usize::BITS - self.hold_sets.leading_zeros()) as usize;
+            counter(set_bits)
+                + self.hold_sets as f64 * (lib.clock_gate + lib.and2)
+                + self.hold_sets as f64 * lib.and2 // decoder outputs
+        } else {
+            0.0
+        };
+        lfsr + counters + bias + fsm + hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::synth;
+
+    const LIB: CellLibrary = CellLibrary::generic_018um();
+
+    #[test]
+    fn circuit_area_scales_with_size() {
+        let small = synth::generate(&synth::find("s298").unwrap());
+        let large = synth::generate(&synth::find("s1494").unwrap());
+        let a_small = circuit_area(&small, &LIB);
+        let a_large = circuit_area(&large, &LIB);
+        assert!(a_large > 3.0 * a_small);
+    }
+
+    #[test]
+    fn hardware_area_in_paper_ballpark() {
+        // Table 4.3 reports 12 000 – 16 000 µm² across all circuits for the
+        // base configuration (NLFSR = 32, m = 3).
+        let hw = BistHardware::for_program(32, 3, 2, 18_000, 117, 50, 22, 0);
+        let a = hw.area(&LIB);
+        assert!(a > 6_000.0 && a < 20_000.0, "area {a}");
+    }
+
+    #[test]
+    fn state_holding_adds_little() {
+        let base = BistHardware::for_program(32, 3, 2, 18_000, 117, 50, 22, 0);
+        let held = BistHardware::for_program(32, 3, 2, 18_000, 117, 50, 22, 4);
+        let a0 = base.area(&LIB);
+        let a1 = held.area(&LIB);
+        assert!(a1 > a0);
+        assert!(a1 < a0 * 1.25, "holding overhead should be small: {a0} -> {a1}");
+    }
+
+    #[test]
+    fn overhead_shrinks_with_circuit_size() {
+        let hw = BistHardware::for_program(32, 3, 1, 6_000, 173, 1, 1, 0).area(&LIB);
+        let small = circuit_area(&synth::generate(&synth::find("s1423").unwrap()), &LIB);
+        let large = circuit_area(&synth::generate(&synth::find("s13207").unwrap()), &LIB);
+        assert!(hw / large < hw / small);
+    }
+
+    #[test]
+    fn gate_pricing_monotone_in_fanin() {
+        assert!(LIB.gate(GateKind::Nand, 4) > LIB.gate(GateKind::Nand, 2));
+        assert_eq!(LIB.gate(GateKind::Input, 0), 0.0);
+        assert_eq!(LIB.gate(GateKind::Dff, 1), LIB.dff);
+    }
+
+    #[test]
+    fn cube_sizing_consistency() {
+        use fbt_sim::Trit;
+        // NSP biasing gates: one per specified trit.
+        let cube = [Trit::One, Trit::X, Trit::Zero, Trit::X];
+        let nsp = crate::cube::specified_count(&cube);
+        let hw = BistHardware::for_program(32, 3, nsp, 100, 10, 1, 1, 0);
+        assert_eq!(hw.biasing_gates, 2);
+    }
+}

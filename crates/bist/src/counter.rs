@@ -1,0 +1,141 @@
+//! The clock-cycle counter with derived control signals (Figs. 4.6, 4.11).
+
+/// A clock-cycle counter whose low-order bits generate the test-apply signal
+/// (a `q`-input NOR over the rightmost `q` bits, Fig. 4.6) and the holding
+/// enable signal (an `h`-input NOR over the rightmost `h` bits, Fig. 4.11).
+///
+/// With `q = 1` — the setting used throughout the paper's experiments so the
+/// largest number of tests is obtained — the rightmost counter bit itself
+/// serves as the apply signal and no extra NOR gate is needed.
+///
+/// # Example
+///
+/// ```
+/// use fbt_bist::CycleCounter;
+/// let mut c = CycleCounter::new();
+/// assert!(c.test_apply(1)); // cycle 0: apply
+/// c.tick();
+/// assert!(!c.test_apply(1)); // cycle 1: don't
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleCounter {
+    count: u64,
+}
+
+impl CycleCounter {
+    /// A counter at cycle 0.
+    pub fn new() -> Self {
+        CycleCounter { count: 0 }
+    }
+
+    /// Current cycle number.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Advance one clock.
+    pub fn tick(&mut self) {
+        self.count += 1;
+    }
+
+    /// Reset to cycle 0 (loading a new segment).
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+
+    /// The test-apply signal: tests are applied every `2^q` cycles, i.e. when
+    /// the rightmost `q` bits are all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0` or `q > 63`.
+    pub fn test_apply(&self, q: u32) -> bool {
+        assert!(q > 0 && q < 64, "q out of range");
+        self.count & ((1 << q) - 1) == 0
+    }
+
+    /// The holding-enable signal: state holding is performed every `2^h`
+    /// cycles (the hold takes effect on the state update leaving the current
+    /// cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h == 0` or `h > 63`.
+    pub fn hold_enable(&self, h: u32) -> bool {
+        assert!(h > 0 && h < 64, "h out of range");
+        self.count & ((1 << h) - 1) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_every_two_cycles_with_q1() {
+        let mut c = CycleCounter::new();
+        let pattern: Vec<bool> = (0..8)
+            .map(|_| {
+                let a = c.test_apply(1);
+                c.tick();
+                a
+            })
+            .collect();
+        assert_eq!(pattern, [true, false, true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn apply_every_four_cycles_with_q2() {
+        let mut c = CycleCounter::new();
+        let hits: Vec<u64> = (0..12)
+            .filter_map(|_| {
+                let v = c.test_apply(2).then_some(c.count());
+                c.tick();
+                v
+            })
+            .collect();
+        assert_eq!(hits, [0, 4, 8]);
+    }
+
+    #[test]
+    fn hold_every_2h_cycles() {
+        let mut c = CycleCounter::new();
+        let hits: Vec<u64> = (0..20)
+            .filter_map(|_| {
+                let v = c.hold_enable(2).then_some(c.count());
+                c.tick();
+                v
+            })
+            .collect();
+        assert_eq!(hits, [0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn hold_cycles_are_launch_cycles_not_capture_cycles() {
+        // Tests start at even cycles (q = 1). The capture transition of test
+        // t(i) leaves cycle i+1 (odd). Hold cycles with h >= 1 are multiples
+        // of 2^h, always even, so a capture transition is never held — the
+        // §4.5.1 requirement.
+        let c = CycleCounter::new();
+        let _ = c;
+        for h in 1..5u32 {
+            let mut c = CycleCounter::new();
+            for _ in 0..64 {
+                if c.hold_enable(h) {
+                    assert!(c.count().is_multiple_of(2), "hold at odd cycle {}", c.count());
+                }
+                c.tick();
+            }
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut c = CycleCounter::new();
+        c.tick();
+        c.tick();
+        c.reset();
+        assert_eq!(c.count(), 0);
+        assert!(c.test_apply(1));
+    }
+}

@@ -1,0 +1,107 @@
+//! Primary input cube computation (paper §4.3).
+//!
+//! *Repeated synchronization* occurs when a primary-input value forces a
+//! state variable to a fixed value; if that input value keeps appearing in
+//! the pseudo-random sequence, the state variable keeps being re-synchronized
+//! and faults behind it escape detection. The cube `C` records, per primary
+//! input, the value that should appear *more often* — the one that
+//! synchronizes **fewer** state variables — and the TPG biases the input
+//! toward it with an `m`-input AND/OR gate.
+
+use fbt_netlist::Netlist;
+use fbt_sim::{tv, Trit};
+
+/// Compute the primary input cube `C`.
+///
+/// For each input `i` and value `b`, a three-valued single-frame simulation
+/// with only `i = b` specified counts the specified next-state variables.
+/// `C(i)` is the value with the *smaller* count; equal counts yield `X`
+/// (no biasing gate).
+pub fn input_cube(net: &Netlist) -> Vec<Trit> {
+    let n_pi = net.num_inputs();
+    let state_x = vec![Trit::X; net.num_dffs()];
+    (0..n_pi)
+        .map(|i| {
+            let count = |b: Trit| {
+                let mut pi = vec![Trit::X; n_pi];
+                pi[i] = b;
+                let (_, next) = tv::simulate_frame_tv(net, &pi, &state_x);
+                next.iter().filter(|t| t.is_specified()).count()
+            };
+            let zero_syncs = count(Trit::Zero);
+            let one_syncs = count(Trit::One);
+            match zero_syncs.cmp(&one_syncs) {
+                std::cmp::Ordering::Less => Trit::Zero,
+                std::cmp::Ordering::Greater => Trit::One,
+                std::cmp::Ordering::Equal => Trit::X,
+            }
+        })
+        .collect()
+}
+
+/// The number of specified entries in a cube — `NSP` of Table 4.2, which is
+/// also the number of biasing gates inserted in the TPG.
+pub fn specified_count(cube: &[Trit]) -> usize {
+    cube.iter().filter(|t| t.is_specified()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::{GateKind, NetlistBuilder};
+
+    /// `a = 0` forces the AND-driven flip-flop to 0 (synchronizes it), so C(a)
+    /// must be 1 (the value to appear more often).
+    #[test]
+    fn synchronizing_value_is_avoided() {
+        let mut b = NetlistBuilder::new("sync");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.dff("q", "d").unwrap();
+        b.gate(GateKind::And, "d", &["a", "c"]).unwrap();
+        b.output("q").unwrap();
+        let net = b.finish().unwrap();
+        let cube = input_cube(&net);
+        // a=0 -> d=0 specified (1 sync); a=1 -> d=X (0 syncs). Prefer a=1.
+        assert_eq!(cube[0], Trit::One);
+        assert_eq!(cube[1], Trit::One);
+        assert_eq!(specified_count(&cube), 2);
+    }
+
+    #[test]
+    fn symmetric_input_gets_x() {
+        let mut b = NetlistBuilder::new("sym");
+        b.input("a").unwrap();
+        b.dff("q", "d").unwrap();
+        b.gate(GateKind::Xor, "d", &["a", "q"]).unwrap();
+        b.output("q").unwrap();
+        let net = b.finish().unwrap();
+        let cube = input_cube(&net);
+        // XOR with an X state is X either way: no synchronization at all.
+        assert_eq!(cube[0], Trit::X);
+        assert_eq!(specified_count(&cube), 0);
+    }
+
+    #[test]
+    fn nor_prefers_zero() {
+        let mut b = NetlistBuilder::new("nor");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.dff("q", "d").unwrap();
+        b.gate(GateKind::Nor, "d", &["a", "c"]).unwrap();
+        b.output("q").unwrap();
+        let net = b.finish().unwrap();
+        let cube = input_cube(&net);
+        // a=1 -> d=0 specified; a=0 -> d=X. Prefer a=0.
+        assert_eq!(cube[0], Trit::Zero);
+    }
+
+    #[test]
+    fn s27_cube_is_small() {
+        // Table 4.2 shows NSP is small relative to NPI for real circuits.
+        let net = fbt_netlist::s27();
+        let cube = input_cube(&net);
+        assert_eq!(cube.len(), 4);
+        assert!(specified_count(&cube) <= 4);
+    }
+}

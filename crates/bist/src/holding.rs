@@ -1,0 +1,159 @@
+//! State-holding hardware: hold sets, set counter and decoder (Figs.
+//! 4.10–4.13).
+//!
+//! Each selected set of state variables shares one latch-based clock-gating
+//! cell driven by its own `Hold_en_k` signal; a `log2(Nh)`-to-`Nh` decoder
+//! fed by the set counter activates exactly one set at a time, and a new set
+//! is enabled only after all multi-segment sequences for the current set have
+//! been applied (paper §4.5.2).
+
+use fbt_sim::Bits;
+
+/// A selected set of state variables (indices into the flip-flop order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoldSet {
+    /// Flip-flop positions held together.
+    pub members: Vec<usize>,
+}
+
+impl HoldSet {
+    /// Create a set from member indices.
+    pub fn new(mut members: Vec<usize>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        HoldSet { members }
+    }
+
+    /// The hold mask over `n_ff` flip-flops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member index is out of range.
+    pub fn mask(&self, n_ff: usize) -> Bits {
+        let mut m = Bits::zeros(n_ff);
+        for &i in &self.members {
+            m.set(i, true);
+        }
+        m
+    }
+
+    /// Number of member flip-flops.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The set counter + decoder of Fig. 4.13: tracks which hold set is active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoldController {
+    sets: Vec<HoldSet>,
+    active: usize,
+    n_ff: usize,
+}
+
+impl HoldController {
+    /// Create a controller over non-overlapping hold sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets overlap (the §4.5.2 procedure only selects
+    /// non-overlapping subsets so that each flip-flop's clock is gated once).
+    pub fn new(n_ff: usize, sets: Vec<HoldSet>) -> Self {
+        let mut seen = vec![false; n_ff];
+        for s in &sets {
+            for &m in &s.members {
+                assert!(m < n_ff, "member {m} out of range");
+                assert!(!seen[m], "hold sets overlap at flip-flop {m}");
+                seen[m] = true;
+            }
+        }
+        HoldController {
+            sets,
+            active: 0,
+            n_ff,
+        }
+    }
+
+    /// Number of sets (`Nh`).
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total state variables across all sets (`Nbits` of Table 4.4).
+    pub fn total_bits(&self) -> usize {
+        self.sets.iter().map(HoldSet::len).sum()
+    }
+
+    /// The currently selected set, if test generation is still running.
+    pub fn active_set(&self) -> Option<&HoldSet> {
+        self.sets.get(self.active)
+    }
+
+    /// The hold mask to apply on a hold-enabled cycle (all-zero after the set
+    /// counter has passed the last set).
+    pub fn mask(&self) -> Bits {
+        match self.active_set() {
+            Some(s) => s.mask(self.n_ff),
+            None => Bits::zeros(self.n_ff),
+        }
+    }
+
+    /// Advance the set counter (all sequences of the current set applied).
+    /// Returns `false` once the counter has reached `Nh` (test generation
+    /// with state holding terminates).
+    pub fn advance(&mut self) -> bool {
+        self.active += 1;
+        self.active < self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_are_one_hot_per_set() {
+        let ctl = HoldController::new(
+            6,
+            vec![HoldSet::new(vec![0, 2]), HoldSet::new(vec![5])],
+        );
+        assert_eq!(ctl.mask().to_string(), "101000");
+        assert_eq!(ctl.num_sets(), 2);
+        assert_eq!(ctl.total_bits(), 3);
+    }
+
+    #[test]
+    fn advance_walks_sets_then_disables() {
+        let mut ctl = HoldController::new(
+            4,
+            vec![HoldSet::new(vec![0]), HoldSet::new(vec![1])],
+        );
+        assert_eq!(ctl.mask().to_string(), "1000");
+        assert!(ctl.advance());
+        assert_eq!(ctl.mask().to_string(), "0100");
+        assert!(!ctl.advance());
+        assert_eq!(ctl.mask().to_string(), "0000");
+        assert!(ctl.active_set().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_sets_rejected() {
+        let _ = HoldController::new(
+            4,
+            vec![HoldSet::new(vec![0, 1]), HoldSet::new(vec![1, 2])],
+        );
+    }
+
+    #[test]
+    fn duplicate_members_deduplicated() {
+        let s = HoldSet::new(vec![3, 1, 3]);
+        assert_eq!(s.members, vec![1, 3]);
+        assert_eq!(s.len(), 2);
+    }
+}

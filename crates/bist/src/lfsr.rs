@@ -1,0 +1,202 @@
+//! The n-stage LFSR of Fig. 4.3.
+
+use fbt_sim::Bits;
+
+/// Maximal-length feedback tap positions (1-indexed stage numbers) for
+/// supported widths. Each entry yields a characteristic polynomial whose
+/// LFSR cycles through all `2^n - 1` non-zero states.
+const MAXIMAL_TAPS: &[(u32, &[u32])] = &[
+    (2, &[2, 1]),
+    (3, &[3, 2]),
+    (4, &[4, 3]),
+    (5, &[5, 3]),
+    (6, &[6, 5]),
+    (7, &[7, 6]),
+    (8, &[8, 6, 5, 4]),
+    (9, &[9, 5]),
+    (10, &[10, 7]),
+    (11, &[11, 9]),
+    (12, &[12, 6, 4, 1]),
+    (13, &[13, 4, 3, 1]),
+    (14, &[14, 5, 3, 1]),
+    (15, &[15, 14]),
+    (16, &[16, 15, 13, 4]),
+    (17, &[17, 14]),
+    (18, &[18, 11]),
+    (19, &[19, 6, 2, 1]),
+    (20, &[20, 17]),
+    (21, &[21, 19]),
+    (22, &[22, 21]),
+    (23, &[23, 18]),
+    (24, &[24, 23, 22, 17]),
+    (25, &[25, 22]),
+    (26, &[26, 6, 2, 1]),
+    (27, &[27, 5, 2, 1]),
+    (28, &[28, 25]),
+    (29, &[29, 27]),
+    (30, &[30, 6, 4, 1]),
+    (31, &[31, 28]),
+    (32, &[32, 22, 2, 1]),
+    (64, &[64, 63, 61, 60]),
+];
+
+/// The tabulated maximal-length taps for `width`, if supported.
+pub(crate) fn taps_for(width: u32) -> Option<&'static [u32]> {
+    MAXIMAL_TAPS
+        .iter()
+        .find(|&&(w, _)| w == width)
+        .map(|&(_, t)| t)
+}
+
+/// A Fibonacci-style linear feedback shift register with a maximal-length
+/// characteristic polynomial.
+///
+/// The developed TPG (paper §4.3) uses a *fixed-width* LFSR (32 stages in the
+/// experiments) regardless of the number of primary inputs; its serial output
+/// feeds a shift register.
+///
+/// # Example
+///
+/// ```
+/// use fbt_bist::Lfsr;
+/// let mut l = Lfsr::new(8, 0x5A).unwrap();
+/// let first = l.step();
+/// let mut l2 = Lfsr::new(8, 0x5A).unwrap();
+/// assert_eq!(first, l2.step()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    width: u32,
+    taps: &'static [u32],
+    state: u64,
+}
+
+impl Lfsr {
+    /// Create an LFSR of the given width, seeded with the low `width` bits of
+    /// `seed` (forced non-zero: the all-0 state is not on the maximal cycle).
+    ///
+    /// Returns `None` for widths without a tabulated maximal polynomial.
+    pub fn new(width: u32, seed: u64) -> Option<Self> {
+        let taps = MAXIMAL_TAPS
+            .iter()
+            .find(|&&(w, _)| w == width)
+            .map(|&(_, t)| t)?;
+        let mask = if width == 64 { !0 } else { (1u64 << width) - 1 };
+        let mut state = seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        Some(Lfsr { width, taps, state })
+    }
+
+    /// The register width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current state (stage `i` in bit `i`).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Load a new seed (forced non-zero), e.g. between primary-input
+    /// segments of a multi-segment sequence.
+    pub fn reseed(&mut self, seed: u64) {
+        let mask = if self.width == 64 { !0 } else { (1u64 << self.width) - 1 };
+        self.state = seed & mask;
+        if self.state == 0 {
+            self.state = 1;
+        }
+    }
+
+    /// Advance one clock; returns the serial output bit (the last stage
+    /// before the shift).
+    pub fn step(&mut self) -> bool {
+        let out = (self.state >> (self.width - 1)) & 1 == 1;
+        let feedback = self
+            .taps
+            .iter()
+            .fold(0u64, |acc, &t| acc ^ (self.state >> (t - 1)));
+        self.state = ((self.state << 1) | (feedback & 1))
+            & if self.width == 64 { !0 } else { (1u64 << self.width) - 1 };
+        out
+    }
+
+    /// The state as a bitvector (stage 0 first).
+    pub fn state_bits(&self) -> Bits {
+        (0..self.width as usize)
+            .map(|i| (self.state >> i) & 1 == 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn maximal_period_small_widths() {
+        for width in 2..=16u32 {
+            let mut l = Lfsr::new(width, 1).unwrap();
+            let start = l.state();
+            let mut period = 0u64;
+            loop {
+                l.step();
+                period += 1;
+                if l.state() == start {
+                    break;
+                }
+                assert!(period <= 1 << width, "runaway at width {width}");
+            }
+            assert_eq!(period, (1u64 << width) - 1, "width {width}");
+        }
+    }
+
+    #[test]
+    fn never_all_zero() {
+        let mut l = Lfsr::new(12, 0).unwrap();
+        assert_ne!(l.state(), 0, "zero seed is coerced");
+        for _ in 0..10_000 {
+            l.step();
+            assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn visits_all_states_width_8() {
+        let mut l = Lfsr::new(8, 7).unwrap();
+        let mut seen = HashSet::new();
+        for _ in 0..255 {
+            seen.insert(l.state());
+            l.step();
+        }
+        assert_eq!(seen.len(), 255);
+    }
+
+    #[test]
+    fn unsupported_width_returns_none() {
+        assert!(Lfsr::new(33, 1).is_none());
+        assert!(Lfsr::new(0, 1).is_none());
+        assert!(Lfsr::new(64, 123).is_some());
+    }
+
+    #[test]
+    fn reseed_restarts_stream() {
+        let mut a = Lfsr::new(16, 0xBEEF).unwrap();
+        let s1: Vec<bool> = (0..32).map(|_| a.step()).collect();
+        a.reseed(0xBEEF);
+        let s2: Vec<bool> = (0..32).map(|_| a.step()).collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn state_bits_layout() {
+        let l = Lfsr::new(8, 0b1010_0001).unwrap();
+        let b = l.state_bits();
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(5));
+        assert!(b.get(7));
+    }
+}

@@ -1,0 +1,93 @@
+//! The controller's cycle budget for on-chip test application.
+//!
+//! The control FSM of §4.4 gates the clocks of the TPG, the counters and the
+//! circuit through a sequence of operation modes: seed loading, shift
+//! register initialization, circuit initialization, primary input sequence
+//! application and circular shifting. This module accounts the total test
+//! time in clock cycles for a generated test program.
+
+/// Cycle accounting for one on-chip test session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestSchedule {
+    /// Length of the longest scan chain (`Lsc`), which is the cost of one
+    /// scan load/unload or circular shift.
+    pub scan_len: usize,
+    /// Shift-register length of the TPG (initialization cost per seed).
+    pub shift_reg_len: usize,
+    /// Cycles to serially load one LFSR seed.
+    pub seed_load: usize,
+}
+
+impl TestSchedule {
+    /// A schedule with a given scan length and TPG shift-register length;
+    /// seeds load serially over the LFSR width.
+    pub fn new(scan_len: usize, shift_reg_len: usize, lfsr_width: usize) -> Self {
+        TestSchedule {
+            scan_len,
+            shift_reg_len,
+            seed_load: lfsr_width,
+        }
+    }
+
+    /// Cycles to start one segment: load the seed and fill the shift
+    /// register (the circuit clock is disabled meanwhile, holding its state).
+    pub fn segment_setup(&self) -> usize {
+        self.seed_load + self.shift_reg_len
+    }
+
+    /// Cycles to apply one segment of length `l` (the functional cycles) plus
+    /// the per-test capture/unload circular shifts: tests are obtained every
+    /// two cycles, each followed by a circular shift of `scan_len` cycles
+    /// that unloads the response into the MISR and restores the state.
+    pub fn segment_apply(&self, l: usize) -> usize {
+        let tests = l / 2;
+        l + tests * self.scan_len
+    }
+
+    /// Total cycles for a whole session.
+    ///
+    /// `sequences` holds, per multi-segment sequence, the lengths of its
+    /// segments. Each sequence begins with a scan-in of the initial state
+    /// (`scan_len` cycles).
+    pub fn total_cycles(&self, sequences: &[Vec<usize>]) -> usize {
+        sequences
+            .iter()
+            .map(|segs| {
+                self.scan_len
+                    + segs
+                        .iter()
+                        .map(|&l| self.segment_setup() + self.segment_apply(l))
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_accounting() {
+        let s = TestSchedule::new(100, 9, 32);
+        assert_eq!(s.segment_setup(), 41);
+        // 10 cycles -> 5 tests -> 10 + 5*100.
+        assert_eq!(s.segment_apply(10), 510);
+    }
+
+    #[test]
+    fn total_over_sequences() {
+        let s = TestSchedule::new(10, 5, 32);
+        // one sequence with segments [4, 6]:
+        // scan-in 10 + (37 + 4 + 2*10) + (37 + 6 + 3*10) = 10 + 61 + 73 = 144.
+        assert_eq!(s.total_cycles(&[vec![4, 6]]), 144);
+        // two identical sequences double it.
+        assert_eq!(s.total_cycles(&[vec![4, 6], vec![4, 6]]), 288);
+    }
+
+    #[test]
+    fn empty_session_is_free() {
+        let s = TestSchedule::new(10, 5, 32);
+        assert_eq!(s.total_cycles(&[]), 0);
+    }
+}

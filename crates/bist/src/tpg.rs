@@ -1,0 +1,216 @@
+//! The test pattern generator of the developed method (paper Fig. 4.8).
+//!
+//! A fixed-width LFSR drives a shift register; primary inputs are driven from
+//! dedicated shift-register bits — one bit directly when `C(i) = x`, or `m`
+//! bits through an AND (`C(i) = 0`) or OR (`C(i) = 1`) biasing gate, making
+//! the preferred value appear with probability `1 - 1/2^m`.
+
+use fbt_sim::{Bits, Trit};
+
+use crate::Lfsr;
+
+/// Static configuration of a TPG instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpgSpec {
+    /// LFSR width (`NLFSR`; 32 in the paper's experiments).
+    pub lfsr_width: u32,
+    /// Biasing gate fan-in `m` (3 in the paper's experiments).
+    pub m: usize,
+    /// The primary input cube `C`.
+    pub cube: Vec<Trit>,
+}
+
+impl TpgSpec {
+    /// Standard configuration used in §4.6: `NLFSR = 32`, `m = 3`.
+    pub fn standard(cube: Vec<Trit>) -> Self {
+        TpgSpec {
+            lfsr_width: 32,
+            m: 3,
+            cube,
+        }
+    }
+
+    /// Number of primary inputs driven.
+    pub fn num_inputs(&self) -> usize {
+        self.cube.len()
+    }
+
+    /// Number of specified cube entries (`NSP`).
+    pub fn specified(&self) -> usize {
+        self.cube.iter().filter(|t| t.is_specified()).count()
+    }
+
+    /// Shift register length: `m·NSP + (NPI − NSP)` (paper §4.3).
+    pub fn shift_register_len(&self) -> usize {
+        let nsp = self.specified();
+        self.m * nsp + (self.num_inputs() - nsp)
+    }
+}
+
+/// The cycle-accurate TPG model.
+///
+/// # Example
+///
+/// ```
+/// use fbt_bist::{Tpg, TpgSpec};
+/// use fbt_sim::Trit;
+///
+/// let spec = TpgSpec::standard(vec![Trit::X, Trit::One, Trit::Zero]);
+/// let mut tpg = Tpg::new(spec, 0xACE1);
+/// let v = tpg.next_vector();
+/// assert_eq!(v.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tpg {
+    spec: TpgSpec,
+    lfsr: Lfsr,
+    shift_reg: Vec<bool>,
+    /// For each PI: the range of shift-register bits allocated to it.
+    alloc: Vec<(usize, usize)>,
+}
+
+impl Tpg {
+    /// Build the TPG and perform initialization: the seed is loaded into the
+    /// LFSR, then the shift register is filled over `shift_register_len()`
+    /// clock cycles (paper §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LFSR width is unsupported.
+    pub fn new(spec: TpgSpec, seed: u64) -> Self {
+        let lfsr = Lfsr::new(spec.lfsr_width, seed)
+            .expect("TPG requires a supported LFSR width");
+        let mut alloc = Vec::with_capacity(spec.num_inputs());
+        let mut next = 0usize;
+        for c in &spec.cube {
+            let width = if c.is_specified() { spec.m } else { 1 };
+            alloc.push((next, width));
+            next += width;
+        }
+        let mut tpg = Tpg {
+            shift_reg: vec![false; spec.shift_register_len()],
+            spec,
+            lfsr,
+            alloc,
+        };
+        tpg.fill_shift_register();
+        tpg
+    }
+
+    /// The static configuration.
+    pub fn spec(&self) -> &TpgSpec {
+        &self.spec
+    }
+
+    /// Load a new LFSR seed and re-initialize the shift register — the
+    /// between-segments operation of multi-segment sequences (§4.4).
+    pub fn reseed(&mut self, seed: u64) {
+        self.lfsr.reseed(seed);
+        self.fill_shift_register();
+    }
+
+    fn fill_shift_register(&mut self) {
+        for _ in 0..self.shift_reg.len() {
+            self.shift_once();
+        }
+    }
+
+    fn shift_once(&mut self) {
+        let incoming = self.lfsr.step();
+        self.shift_reg.rotate_right(1);
+        self.shift_reg[0] = incoming;
+    }
+
+    /// Advance one clock and produce the primary-input vector for this cycle.
+    pub fn next_vector(&mut self) -> Bits {
+        self.shift_once();
+        let mut out = Bits::zeros(self.spec.num_inputs());
+        for (i, (&c, &(start, width))) in
+            self.spec.cube.iter().zip(&self.alloc).enumerate()
+        {
+            let bits = &self.shift_reg[start..start + width];
+            let v = match c {
+                Trit::X => bits[0],
+                Trit::Zero => bits.iter().all(|&b| b), // m-input AND
+                Trit::One => bits.iter().any(|&b| b),  // m-input OR
+            };
+            out.set(i, v);
+        }
+        out
+    }
+
+    /// Generate a primary-input sequence of length `len`.
+    pub fn sequence(&mut self, len: usize) -> Vec<Bits> {
+        (0..len).map(|_| self.next_vector()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_register_length_formula() {
+        let spec = TpgSpec::standard(vec![Trit::Zero, Trit::X, Trit::One, Trit::X, Trit::X]);
+        // NSP = 2, NPI = 5, m = 3 -> 3*2 + 3 = 9.
+        assert_eq!(spec.shift_register_len(), 9);
+    }
+
+    #[test]
+    fn reseed_reproduces_sequence() {
+        let spec = TpgSpec::standard(vec![Trit::X; 6]);
+        let mut t = Tpg::new(spec, 0x1234_5678);
+        let s1 = t.sequence(50);
+        t.reseed(0x1234_5678);
+        let s2 = t.sequence(50);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = TpgSpec::standard(vec![Trit::X; 6]);
+        let a = Tpg::new(spec.clone(), 1).sequence(30);
+        let b = Tpg::new(spec, 2).sequence(30);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn biasing_probabilities() {
+        // With m = 3 the preferred value should appear with probability
+        // about 1 - 1/8 = 0.875.
+        let spec = TpgSpec::standard(vec![Trit::One, Trit::Zero, Trit::X]);
+        let mut t = Tpg::new(spec, 0xDEAD_BEEF);
+        let n = 4000;
+        let mut ones = [0usize; 3];
+        for _ in 0..n {
+            let v = t.next_vector();
+            for (i, o) in ones.iter_mut().enumerate() {
+                if v.get(i) {
+                    *o += 1;
+                }
+            }
+        }
+        let f0 = ones[0] as f64 / n as f64; // biased toward 1
+        let f1 = ones[1] as f64 / n as f64; // biased toward 0
+        let fx = ones[2] as f64 / n as f64; // unbiased
+        assert!((f0 - 0.875).abs() < 0.05, "OR-biased input freq {f0}");
+        assert!((f1 - 0.125).abs() < 0.05, "AND-biased input freq {f1}");
+        assert!((fx - 0.5).abs() < 0.05, "unbiased input freq {fx}");
+    }
+
+    #[test]
+    fn adjacent_unbiased_inputs_are_decorrelated() {
+        let spec = TpgSpec::standard(vec![Trit::X; 4]);
+        let mut t = Tpg::new(spec, 0xABCD);
+        let n = 4000;
+        let mut agree = 0usize;
+        for _ in 0..n {
+            let v = t.next_vector();
+            if v.get(0) == v.get(1) {
+                agree += 1;
+            }
+        }
+        let f = agree as f64 / n as f64;
+        assert!((f - 0.5).abs() < 0.06, "adjacent agreement {f}");
+    }
+}

@@ -1,0 +1,205 @@
+//! The TPG architecture of \[73\] (paper Fig. 4.7), kept for ablation.
+//!
+//! In \[73\] each primary input owns a *dedicated* group of `d` LFSR stages:
+//! inputs with a specified cube value take `m ≤ d` of their stages through
+//! an AND/OR biasing gate, unbiased inputs tap one stage directly. The LFSR
+//! is therefore `d · NPI` stages long — which is exactly why the developed
+//! method (Fig. 4.8) replaced it with a fixed-width LFSR feeding a shift
+//! register. The `ablation_tpg` experiment compares the two on coverage and
+//! area.
+
+use fbt_sim::{Bits, Trit};
+
+/// A Fibonacci LFSR of arbitrary width (multi-word state).
+///
+/// Unlike [`crate::Lfsr`], whose tabulated polynomials guarantee the maximal
+/// period, arbitrary widths use a fixed dense tap pattern chosen for long
+/// (but not provably maximal) periods — adequate for pseudo-random pattern
+/// generation, which is all \[73\]'s architecture needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WideLfsr {
+    width: usize,
+    state: Vec<u64>,
+}
+
+impl WideLfsr {
+    /// Create a register of `width` stages seeded from `seed` (expanded via
+    /// the workspace PRNG; forced non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize, seed: u64) -> Self {
+        assert!(width > 0, "width must be positive");
+        let mut rng = fbt_netlist::rng::Rng::new(seed);
+        let mut state: Vec<u64> = (0..width.div_ceil(64)).map(|_| rng.next_u64()).collect();
+        let tail_bits = width % 64;
+        if tail_bits != 0 {
+            let last = state.len() - 1;
+            state[last] &= (1u64 << tail_bits) - 1;
+        }
+        if state.iter().all(|&w| w == 0) {
+            state[0] = 1;
+        }
+        WideLfsr { width, state }
+    }
+
+    /// The register width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Read stage `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[inline]
+    pub fn stage(&self, i: usize) -> bool {
+        assert!(i < self.width, "stage out of range");
+        (self.state[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Advance one clock. Feedback taps: the last stage XOR three fixed
+    /// interior stages (spread across the register).
+    pub fn step(&mut self) {
+        let w = self.width;
+        let taps = [w - 1, (w * 3) / 4, w / 2, w / 5];
+        let mut fb = false;
+        for &t in &taps {
+            fb ^= self.stage(t.min(w - 1));
+        }
+        // Shift left by one (stage i+1 <- stage i), insert feedback at 0.
+        let mut carry = fb;
+        for word in self.state.iter_mut() {
+            let out = (*word >> 63) & 1 == 1;
+            *word = (*word << 1) | carry as u64;
+            carry = out;
+        }
+        let tail_bits = w % 64;
+        if tail_bits != 0 {
+            let last = self.state.len() - 1;
+            self.state[last] &= (1u64 << tail_bits) - 1;
+        }
+        if self.state.iter().all(|&x| x == 0) {
+            self.state[0] = 1;
+        }
+    }
+}
+
+/// The Fig. 4.7 test pattern generator of \[73\].
+#[derive(Debug, Clone)]
+pub struct Tpg73 {
+    lfsr: WideLfsr,
+    cube: Vec<Trit>,
+    /// LFSR stages per input (`d`).
+    pub d: usize,
+    /// Biasing gate fan-in (`m`), `2 ≤ m ≤ d`.
+    pub m: usize,
+}
+
+impl Tpg73 {
+    /// Build the generator. The LFSR is `d · NPI` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= m <= d`.
+    pub fn new(cube: Vec<Trit>, d: usize, m: usize, seed: u64) -> Self {
+        assert!(m >= 2 && m <= d, "need 2 <= m <= d");
+        let width = (d * cube.len()).max(1);
+        Tpg73 {
+            lfsr: WideLfsr::new(width, seed),
+            cube,
+            d,
+            m,
+        }
+    }
+
+    /// Total LFSR stages (`NLFSR = d · NPI` — the area cost this
+    /// architecture pays and Fig. 4.8 avoids).
+    pub fn lfsr_width(&self) -> usize {
+        self.lfsr.width()
+    }
+
+    /// Advance one clock and produce the primary-input vector.
+    pub fn next_vector(&mut self) -> Bits {
+        self.lfsr.step();
+        let mut out = Bits::zeros(self.cube.len());
+        for (i, &c) in self.cube.iter().enumerate() {
+            let base = i * self.d;
+            let v = match c {
+                Trit::X => self.lfsr.stage(base),
+                Trit::Zero => (0..self.m).all(|k| self.lfsr.stage(base + k)),
+                Trit::One => (0..self.m).any(|k| self.lfsr.stage(base + k)),
+            };
+            out.set(i, v);
+        }
+        out
+    }
+
+    /// Generate a sequence of `len` vectors.
+    pub fn sequence(&mut self, len: usize) -> Vec<Bits> {
+        (0..len).map(|_| self.next_vector()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_lfsr_is_deterministic_and_nonzero() {
+        let mut a = WideLfsr::new(100, 5);
+        let mut b = WideLfsr::new(100, 5);
+        for _ in 0..2000 {
+            a.step();
+            b.step();
+            assert_eq!(a, b);
+            assert!((0..100).any(|i| a.stage(i)), "reached all-zero");
+        }
+    }
+
+    #[test]
+    fn wide_lfsr_has_long_period_at_small_width() {
+        let mut l = WideLfsr::new(24, 9);
+        let start = l.clone();
+        let mut period = 0u64;
+        loop {
+            l.step();
+            period += 1;
+            if l == start || period > 2_000_000 {
+                break;
+            }
+        }
+        assert!(period > 10_000, "period {period} too short");
+    }
+
+    #[test]
+    fn tpg73_biasing_matches_expectations() {
+        let cube = vec![Trit::One, Trit::Zero, Trit::X];
+        let mut t = Tpg73::new(cube, 4, 3, 0xFEED);
+        assert_eq!(t.lfsr_width(), 12);
+        let n = 4000;
+        let mut ones = [0usize; 3];
+        for _ in 0..n {
+            let v = t.next_vector();
+            for (i, o) in ones.iter_mut().enumerate() {
+                if v.get(i) {
+                    *o += 1;
+                }
+            }
+        }
+        let f = |i: usize| ones[i] as f64 / n as f64;
+        assert!((f(0) - 0.875).abs() < 0.06, "OR-biased {}", f(0));
+        assert!((f(1) - 0.125).abs() < 0.06, "AND-biased {}", f(1));
+        assert!((f(2) - 0.5).abs() < 0.06, "unbiased {}", f(2));
+    }
+
+    #[test]
+    fn lfsr_width_scales_with_inputs_unlike_fig_4_8() {
+        let narrow = Tpg73::new(vec![Trit::X; 8], 3, 2, 1);
+        let wide = Tpg73::new(vec![Trit::X; 128], 3, 2, 1);
+        assert_eq!(narrow.lfsr_width(), 24);
+        assert_eq!(wide.lfsr_width(), 384); // grows linearly: the ablation point
+    }
+}

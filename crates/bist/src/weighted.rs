@@ -1,0 +1,136 @@
+//! Weighted random pattern generation (\[84\]–\[87\], reviewed in §4.2),
+//! kept as an ablation baseline against the cube-biased TPG.
+//!
+//! Each primary input receives a weight `w ∈ {1/8, …, 7/8}`: the input takes
+//! value 1 when the 3-bit number formed by its dedicated pseudo-random bits
+//! is below `8 · w`. The cube-biased TPG of Fig. 4.8 is the special case
+//! `w ∈ {1/8, 1/2, 7/8}` realised with single AND/OR gates instead of
+//! comparators.
+
+use fbt_sim::{Bits, Trit};
+
+use crate::Lfsr;
+
+/// A per-input weight in eighths (1..=7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Weight(u8);
+
+impl Weight {
+    /// Create a weight of `eighths / 8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= eighths <= 7`.
+    pub fn eighths(eighths: u8) -> Self {
+        assert!((1..=7).contains(&eighths), "weight out of range");
+        Weight(eighths)
+    }
+
+    /// The probability this weight encodes.
+    pub fn probability(self) -> f64 {
+        self.0 as f64 / 8.0
+    }
+
+    /// The weight the cube-biasing gates of Fig. 4.8 realise for a cube
+    /// value (with `m = 3`): `7/8` for a preferred 1, `1/8` for a preferred
+    /// 0, `1/2` for unbiased.
+    pub fn from_cube_entry(c: Trit) -> Weight {
+        match c {
+            Trit::One => Weight(7),
+            Trit::Zero => Weight(1),
+            Trit::X => Weight(4),
+        }
+    }
+}
+
+/// A weighted-random test pattern generator.
+#[derive(Debug, Clone)]
+pub struct WeightedTpg {
+    lfsr: Lfsr,
+    weights: Vec<Weight>,
+}
+
+impl WeightedTpg {
+    /// Build a generator over the given weights, driven by a 32-stage LFSR.
+    pub fn new(weights: Vec<Weight>, seed: u64) -> Self {
+        WeightedTpg {
+            lfsr: Lfsr::new(32, seed).expect("32 is tabulated"),
+            weights,
+        }
+    }
+
+    /// The weight set realising the same biases as a cube (the apples-to-
+    /// apples ablation configuration).
+    pub fn from_cube(cube: &[Trit], seed: u64) -> Self {
+        WeightedTpg::new(cube.iter().map(|&c| Weight::from_cube_entry(c)).collect(), seed)
+    }
+
+    /// Advance and produce one primary-input vector: each input compares a
+    /// fresh 3-bit draw against its weight.
+    pub fn next_vector(&mut self) -> Bits {
+        let mut out = Bits::zeros(self.weights.len());
+        for (i, w) in self.weights.iter().enumerate() {
+            let mut draw = 0u8;
+            for _ in 0..3 {
+                draw = (draw << 1) | self.lfsr.step() as u8;
+            }
+            out.set(i, draw < w.0);
+        }
+        out
+    }
+
+    /// Generate a sequence of `len` vectors.
+    pub fn sequence(&mut self, len: usize) -> Vec<Bits> {
+        (0..len).map(|_| self.next_vector()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_validate() {
+        assert_eq!(Weight::eighths(4).probability(), 0.5);
+        assert_eq!(Weight::from_cube_entry(Trit::One).probability(), 0.875);
+        assert_eq!(Weight::from_cube_entry(Trit::Zero).probability(), 0.125);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight out of range")]
+    fn zero_weight_rejected() {
+        let _ = Weight::eighths(0);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = vec![Weight::eighths(1), Weight::eighths(4), Weight::eighths(7)];
+        let mut t = WeightedTpg::new(weights.clone(), 0xC0DE);
+        let n = 6000;
+        let mut ones = [0usize; 3];
+        for _ in 0..n {
+            let v = t.next_vector();
+            for (i, o) in ones.iter_mut().enumerate() {
+                if v.get(i) {
+                    *o += 1;
+                }
+            }
+        }
+        for (i, w) in weights.iter().enumerate() {
+            let f = ones[i] as f64 / n as f64;
+            assert!(
+                (f - w.probability()).abs() < 0.05,
+                "input {i}: {f} vs {}",
+                w.probability()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = vec![Weight::eighths(3); 5];
+        let a = WeightedTpg::new(w.clone(), 9).sequence(40);
+        let b = WeightedTpg::new(w, 9).sequence(40);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,491 @@
+//! Built-in generation of functional broadside tests **considering primary
+//! input constraints** — the paper's contribution (§4.4, Fig. 4.9).
+//!
+//! Arbitrary on-chip sequences can drive the embedded circuit through
+//! state-transitions whose switching activity exceeds anything functional
+//! operation can produce, causing overtesting. The constrained method builds
+//! *multi-segment* primary-input sequences: each segment comes from a
+//! different LFSR seed, is truncated just before the first clock cycle whose
+//! switching activity would exceed `SWAfunc`, and is kept only if its tests
+//! detect new faults. Between segments the circuit's state is held (its clock
+//! is gated) while the new seed is loaded, so the next segment continues from
+//! the final state of the previous one and the whole trajectory remains
+//! reachable.
+
+use fbt_bist::{cube, Tpg, TpgSpec};
+use fbt_fault::sim::FaultSim;
+use fbt_fault::{all_transition_faults, collapse, TransitionFault};
+use fbt_netlist::rng::Rng;
+use fbt_netlist::Netlist;
+use fbt_sim::seq::simulate_sequence;
+use fbt_sim::Bits;
+
+use crate::extract::functional_tests;
+use crate::stp::StpLibrary;
+use crate::{DeviationMetric, FunctionalBistConfig};
+
+/// One primary-input segment: an LFSR seed and the (even) number of cycles
+/// applied from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The LFSR seed loaded for this segment.
+    pub seed: u64,
+    /// Number of clock cycles applied (always even, so the segment ends at
+    /// the final state of its last test).
+    pub len: usize,
+}
+
+/// A multi-segment primary-input sequence `Pmulti = Pseg(0) … Pseg(Nseg-1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiSegmentSequence {
+    /// The reachable state the circuit is initialized into before this
+    /// sequence (the all-0 state in the paper's experiments; §4.4 notes
+    /// several reachable states can be used when scan-in storage allows).
+    pub initial_state: Bits,
+    /// The segments, in application order.
+    pub segments: Vec<Segment>,
+}
+
+impl MultiSegmentSequence {
+    /// An empty sequence starting from `initial_state`.
+    pub fn new(initial_state: Bits) -> Self {
+        MultiSegmentSequence {
+            initial_state,
+            segments: Vec::new(),
+        }
+    }
+}
+
+impl MultiSegmentSequence {
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total applied cycles.
+    pub fn total_len(&self) -> usize {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+}
+
+/// The decision rule that truncates a candidate segment (pluggable so the
+/// §5.1 signal-transition-pattern metric can replace plain switching
+/// activity).
+pub(crate) trait SegmentRule {
+    /// The longest even prefix of `pis`, applied from `start`, whose every
+    /// measurable clock cycle is admissible.
+    fn admissible_prefix(&self, net: &Netlist, start: &Bits, pis: &[Bits]) -> usize;
+}
+
+/// Switching-activity bound (the paper's rule).
+pub(crate) struct SwaRule {
+    pub bound: f64,
+}
+
+impl SegmentRule for SwaRule {
+    fn admissible_prefix(&self, net: &Netlist, start: &Bits, pis: &[Bits]) -> usize {
+        let traj = simulate_sequence(net, start, pis);
+        match traj
+            .swa
+            .iter()
+            .position(|s| s.is_some_and(|v| v > self.bound + 1e-12))
+        {
+            // Violation at cycle v (paper's j+1): usable prefix is
+            // p(0) … p(j-1), i.e. v-1 cycles, rounded down to even.
+            Some(v) => (v.saturating_sub(1)) & !1usize,
+            None => pis.len() & !1usize,
+        }
+    }
+}
+
+/// Result of a constrained generation run.
+#[derive(Debug, Clone)]
+pub struct ConstrainedOutcome {
+    /// The constructed multi-segment sequences.
+    pub sequences: Vec<MultiSegmentSequence>,
+    /// The switching-activity bound used (`SWAfunc`).
+    pub swafunc: f64,
+    /// The collapsed transition fault list.
+    pub faults: Vec<TransitionFault>,
+    /// Detection flag per fault.
+    pub detected: Vec<bool>,
+    /// Total number of tests applied on-chip.
+    pub tests_applied: usize,
+    /// Peak switching activity during test application (≤ `swafunc` by
+    /// construction when the SWA metric is used).
+    pub peak_swa: f64,
+}
+
+impl ConstrainedOutcome {
+    /// Transition fault coverage in percent.
+    pub fn fault_coverage(&self) -> f64 {
+        fbt_fault::sim::coverage_percent(&self.detected)
+    }
+
+    /// Number of detected faults.
+    pub fn num_detected(&self) -> usize {
+        self.detected.iter().filter(|&&d| d).count()
+    }
+
+    /// `Nmulti`: number of multi-segment sequences.
+    pub fn nmulti(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// `Nsegmax`: most segments in any one sequence.
+    pub fn nsegmax(&self) -> usize {
+        self.sequences
+            .iter()
+            .map(MultiSegmentSequence::num_segments)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `Lmax`: longest segment.
+    pub fn lmax(&self) -> usize {
+        self.sequences
+            .iter()
+            .flat_map(|s| s.segments.iter().map(|g| g.len))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `Nseeds`: total number of selected seeds (= total segments).
+    pub fn nseeds(&self) -> usize {
+        self.sequences
+            .iter()
+            .map(MultiSegmentSequence::num_segments)
+            .sum()
+    }
+
+    /// Segment lengths per sequence (for the controller's cycle budget).
+    pub fn segment_lengths(&self) -> Vec<Vec<usize>> {
+        self.sequences
+            .iter()
+            .map(|s| s.segments.iter().map(|g| g.len).collect())
+            .collect()
+    }
+}
+
+/// Run the constrained method with a precomputed `SWAfunc` bound, starting
+/// every sequence from the all-0 reset state.
+///
+/// # Example
+///
+/// ```
+/// use fbt_core::driver::DrivingBlock;
+/// use fbt_core::{generate_constrained, swafunc, FunctionalBistConfig};
+///
+/// let net = fbt_netlist::s27();
+/// let cfg = FunctionalBistConfig::smoke();
+/// let bound = swafunc(&net, &DrivingBlock::Buffers, &cfg);
+/// let out = generate_constrained(&net, bound, &cfg);
+/// assert!(out.peak_swa <= bound);            // the §4.4 guarantee
+/// assert!(out.fault_coverage() > 0.0);
+/// ```
+///
+/// When `cfg.metric` is [`DeviationMetric::SignalTransitionPatterns`], an
+/// [`StpLibrary`] must be supplied via [`generate_constrained_with_library`];
+/// this entry point always uses the switching-activity rule.
+///
+/// # Panics
+///
+/// Panics on invalid configurations.
+pub fn generate_constrained(
+    net: &Netlist,
+    swafunc: f64,
+    cfg: &FunctionalBistConfig,
+) -> ConstrainedOutcome {
+    let rule = SwaRule { bound: swafunc };
+    let zero = Bits::zeros(net.num_dffs());
+    run(net, swafunc, cfg, &rule, std::slice::from_ref(&zero))
+}
+
+/// Like [`generate_constrained`], but round-robins sequence attempts over a
+/// set of *reachable* initial states (§4.4: "several different reachable
+/// states can be used as initial states if the amount of required memory for
+/// storing these states is not a concern").
+///
+/// # Panics
+///
+/// Panics on invalid configurations, an empty `initial_states` slice, or a
+/// state-width mismatch. Reachability of the supplied states is the
+/// caller's responsibility — an unreachable state would silently break the
+/// functional-broadside guarantee.
+pub fn generate_constrained_from(
+    net: &Netlist,
+    swafunc: f64,
+    cfg: &FunctionalBistConfig,
+    initial_states: &[Bits],
+) -> ConstrainedOutcome {
+    assert!(!initial_states.is_empty(), "need at least one initial state");
+    for s in initial_states {
+        assert_eq!(s.len(), net.num_dffs(), "initial state width mismatch");
+    }
+    let rule = SwaRule { bound: swafunc };
+    run(net, swafunc, cfg, &rule, initial_states)
+}
+
+/// Run the constrained method with the signal-transition-pattern rule of
+/// §5.1 (\[90\]): a state-transition is admissible only if its pattern of
+/// signal-transitions is a subset of one observed during functional
+/// operation.
+///
+/// # Panics
+///
+/// Panics if `cfg.metric` is not
+/// [`DeviationMetric::SignalTransitionPatterns`].
+pub fn generate_constrained_with_library(
+    net: &Netlist,
+    swafunc: f64,
+    library: &StpLibrary,
+    cfg: &FunctionalBistConfig,
+) -> ConstrainedOutcome {
+    assert_eq!(
+        cfg.metric,
+        DeviationMetric::SignalTransitionPatterns,
+        "library-based generation requires the STP metric"
+    );
+    let zero = Bits::zeros(net.num_dffs());
+    run(net, swafunc, cfg, library, std::slice::from_ref(&zero))
+}
+
+fn run(
+    net: &Netlist,
+    swafunc: f64,
+    cfg: &FunctionalBistConfig,
+    rule: &dyn SegmentRule,
+    initial_states: &[Bits],
+) -> ConstrainedOutcome {
+    cfg.validate();
+    let spec = TpgSpec {
+        lfsr_width: cfg.lfsr_width,
+        m: cfg.m,
+        cube: cube::input_cube(net),
+    };
+    let faults = collapse(net, &all_transition_faults(net));
+    let mut detected = vec![false; faults.len()];
+    let mut fsim = FaultSim::new(net);
+    let mut rng = Rng::new(cfg.master_seed);
+
+    let mut sequences: Vec<MultiSegmentSequence> = Vec::new();
+    let mut tests_applied = 0usize;
+    let mut peak_swa = 0.0f64;
+    let mut attempt_failures = 0usize;
+    let mut seeds_tried = 0usize;
+    let mut attempts = 0usize;
+
+    while attempt_failures < cfg.attempt_failure_limit && seeds_tried < cfg.max_seeds {
+        // Construct one multi-segment sequence, starting from a reachable
+        // initial state (round-robin over the provided set).
+        let init = &initial_states[attempts % initial_states.len()];
+        attempts += 1;
+        let mut cur_state = init.clone();
+        let mut seq = MultiSegmentSequence::new(init.clone());
+        let mut seed_failures = 0usize;
+        while seed_failures < cfg.segment_failure_limit && seeds_tried < cfg.max_seeds {
+            seeds_tried += 1;
+            let seed = rng.next_u64();
+            let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
+            let len = rule.admissible_prefix(net, &cur_state, &pis);
+            if len < 2 {
+                seed_failures += 1;
+                continue;
+            }
+            let prefix = &pis[..len];
+            let traj = simulate_sequence(net, &cur_state, prefix);
+            let tests = functional_tests(prefix, &traj.states);
+            let newly = fsim.run(&tests, &faults, &mut detected);
+            if newly > 0 {
+                tests_applied += tests.len();
+                peak_swa = peak_swa.max(traj.peak_swa());
+                cur_state = traj.states[len].clone();
+                seq.segments.push(Segment { seed, len });
+                seed_failures = 0;
+            } else {
+                seed_failures += 1;
+            }
+        }
+        if seq.segments.is_empty() {
+            attempt_failures += 1;
+        } else {
+            attempt_failures = 0;
+            sequences.push(seq);
+        }
+    }
+
+    ConstrainedOutcome {
+        sequences,
+        swafunc,
+        faults,
+        detected,
+        tests_applied,
+        peak_swa,
+    }
+}
+
+/// Replay a constrained outcome's sequences and return the per-sequence
+/// trajectories' tests — used by verification and by the state-holding stage
+/// to know the remaining undetected faults exactly.
+pub fn replay_tests(
+    net: &Netlist,
+    outcome: &ConstrainedOutcome,
+    cfg: &FunctionalBistConfig,
+) -> Vec<fbt_fault::BroadsideTest> {
+    let spec = TpgSpec {
+        lfsr_width: cfg.lfsr_width,
+        m: cfg.m,
+        cube: cube::input_cube(net),
+    };
+    let mut all = Vec::with_capacity(outcome.tests_applied);
+    for seq in &outcome.sequences {
+        let mut cur = seq.initial_state.clone();
+        for seg in &seq.segments {
+            let pis = Tpg::new(spec.clone(), seg.seed).sequence(cfg.seq_len);
+            let prefix = &pis[..seg.len];
+            let traj = simulate_sequence(net, &cur, prefix);
+            all.extend(functional_tests(prefix, &traj.states));
+            cur = traj.states[seg.len].clone();
+        }
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{swafunc as compute_swafunc, DrivingBlock};
+    use fbt_netlist::{s27, synth};
+
+    #[test]
+    fn every_applied_cycle_respects_the_bound() {
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let bound = compute_swafunc(&net, &DrivingBlock::Buffers, &cfg) * 0.8;
+        let out = generate_constrained(&net, bound, &cfg);
+        assert!(
+            out.peak_swa <= bound + 1e-12,
+            "peak {} exceeds bound {}",
+            out.peak_swa,
+            bound
+        );
+    }
+
+    #[test]
+    fn segments_have_even_lengths() {
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let bound = compute_swafunc(&net, &DrivingBlock::Buffers, &cfg) * 0.7;
+        let out = generate_constrained(&net, bound, &cfg);
+        for seq in &out.sequences {
+            for seg in &seq.segments {
+                assert_eq!(seg.len % 2, 0);
+                assert!(seg.len >= 2);
+                assert!(seg.len <= cfg.seq_len);
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_bound_means_harder_generation() {
+        let net = synth::generate(&synth::find("s386").unwrap());
+        let cfg = FunctionalBistConfig::smoke();
+        let loose = compute_swafunc(&net, &DrivingBlock::Buffers, &cfg);
+        let out_loose = generate_constrained(&net, loose, &cfg);
+        let out_tight = generate_constrained(&net, loose * 0.55, &cfg);
+        // A tight bound can only lose (or tie) coverage relative to a loose
+        // bound, and segments get shorter.
+        assert!(out_tight.fault_coverage() <= out_loose.fault_coverage() + 1e-9);
+        if out_tight.lmax() > 0 {
+            assert!(out_tight.lmax() <= cfg.seq_len);
+        }
+    }
+
+    #[test]
+    fn unconstrained_bound_yields_full_length_segments() {
+        // With bound = 1.0 (100% activity allowed) nothing is ever truncated:
+        // each selected segment has the full length L.
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let out = generate_constrained(&net, 1.0, &cfg);
+        for seq in &out.sequences {
+            for seg in &seq.segments {
+                assert_eq!(seg.len, cfg.seq_len);
+            }
+        }
+        assert!(out.fault_coverage() > 40.0);
+    }
+
+    #[test]
+    fn replay_reproduces_detections() {
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let bound = compute_swafunc(&net, &DrivingBlock::Buffers, &cfg);
+        let out = generate_constrained(&net, bound, &cfg);
+        let tests = replay_tests(&net, &out, &cfg);
+        assert_eq!(tests.len(), out.tests_applied);
+        let mut detected = vec![false; out.faults.len()];
+        let mut fsim = FaultSim::new(&net);
+        fsim.run(&tests, &out.faults, &mut detected);
+        assert_eq!(detected, out.detected);
+    }
+
+    #[test]
+    fn statistics_are_consistent() {
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let out = generate_constrained(&net, 1.0, &cfg);
+        assert_eq!(
+            out.nseeds(),
+            out.sequences.iter().map(|s| s.num_segments()).sum::<usize>()
+        );
+        assert!(out.nsegmax() <= out.nseeds());
+        assert_eq!(out.nmulti(), out.sequences.len());
+        let total_cycles: usize = out.sequences.iter().map(|s| s.total_len()).sum();
+        assert_eq!(out.tests_applied, total_cycles / 2);
+    }
+
+    #[test]
+    fn multiple_initial_states_round_robin() {
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        // Derive a second reachable state by simulating two cycles from 0.
+        let pis = vec![
+            fbt_sim::Bits::from_str01("1010"),
+            fbt_sim::Bits::from_str01("0101"),
+        ];
+        let traj =
+            fbt_sim::seq::simulate_sequence(&net, &fbt_sim::Bits::zeros(3), &pis);
+        let inits = vec![fbt_sim::Bits::zeros(3), traj.states[2].clone()];
+        let out = generate_constrained_from(&net, 1.0, &cfg, &inits);
+        assert!(out.peak_swa <= 1.0);
+        // Every sequence's initial state is one of the provided ones.
+        for seq in &out.sequences {
+            assert!(inits.contains(&seq.initial_state));
+        }
+        // Replay agrees.
+        let tests = replay_tests(&net, &out, &cfg);
+        assert_eq!(tests.len(), out.tests_applied);
+        let mut detected = vec![false; out.faults.len()];
+        let mut fsim = FaultSim::new(&net);
+        fsim.run(&tests, &out.faults, &mut detected);
+        assert_eq!(detected, out.detected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one initial state")]
+    fn empty_initial_states_rejected() {
+        let net = s27();
+        let _ = generate_constrained_from(&net, 1.0, &FunctionalBistConfig::smoke(), &[]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let a = generate_constrained(&net, 0.5, &cfg);
+        let b = generate_constrained(&net, 0.5, &cfg);
+        assert_eq!(a.sequences, b.sequences);
+        assert_eq!(a.detected, b.detected);
+    }
+}

@@ -1,0 +1,118 @@
+//! Coverage growth curves: transition fault coverage as a function of the
+//! number of applied tests.
+//!
+//! The paper's discussion of test budgets ("the number of applied tests
+//! varies from hundreds to hundreds of thousands … the target circuits have
+//! different numbers of random pattern resistant faults", §4.6) is about the
+//! shape of this curve; exposing it lets a user pick a budget and lets the
+//! experiments show saturation explicitly.
+
+use fbt_fault::sim::FaultSim;
+use fbt_netlist::Netlist;
+
+use crate::constrained::{replay_tests, ConstrainedOutcome};
+use crate::FunctionalBistConfig;
+
+/// One point on a coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Tests applied so far.
+    pub tests: usize,
+    /// Transition fault coverage (percent) after those tests.
+    pub coverage: f64,
+}
+
+/// Replay a constrained outcome and sample coverage every `stride` tests.
+///
+/// The final point always equals the outcome's own coverage (asserted by a
+/// test), so the curve is an exact decomposition of the reported number.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn coverage_curve(
+    net: &Netlist,
+    outcome: &ConstrainedOutcome,
+    cfg: &FunctionalBistConfig,
+    stride: usize,
+) -> Vec<CurvePoint> {
+    assert!(stride > 0, "stride must be positive");
+    let tests = replay_tests(net, outcome, cfg);
+    let mut fsim = FaultSim::new(net);
+    let mut detected = vec![false; outcome.faults.len()];
+    let mut curve = Vec::with_capacity(tests.len() / stride + 2);
+    curve.push(CurvePoint {
+        tests: 0,
+        coverage: 0.0,
+    });
+    let mut applied = 0usize;
+    for chunk in tests.chunks(stride) {
+        fsim.run(chunk, &outcome.faults, &mut detected);
+        applied += chunk.len();
+        curve.push(CurvePoint {
+            tests: applied,
+            coverage: fbt_fault::sim::coverage_percent(&detected),
+        });
+    }
+    curve
+}
+
+/// The smallest number of applied tests reaching `fraction` (0..=1) of the
+/// final coverage — the "knee" metric of a growth curve.
+pub fn tests_to_reach(curve: &[CurvePoint], fraction: f64) -> Option<usize> {
+    let last = curve.last()?.coverage;
+    let target = last * fraction;
+    curve
+        .iter()
+        .find(|p| p.coverage >= target - 1e-12)
+        .map(|p| p.tests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{swafunc, DrivingBlock};
+    use crate::generate_constrained;
+    use fbt_netlist::s27;
+
+    fn outcome() -> (fbt_netlist::Netlist, FunctionalBistConfig, ConstrainedOutcome) {
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let bound = swafunc(&net, &DrivingBlock::Buffers, &cfg);
+        let out = generate_constrained(&net, bound, &cfg);
+        (net, cfg, out)
+    }
+
+    #[test]
+    fn curve_is_monotone_and_lands_on_the_final_coverage() {
+        let (net, cfg, out) = outcome();
+        let curve = coverage_curve(&net, &out, &cfg, 5);
+        assert!(curve.len() >= 2);
+        for w in curve.windows(2) {
+            assert!(w[1].coverage >= w[0].coverage - 1e-12);
+            assert!(w[1].tests > w[0].tests);
+        }
+        let last = curve.last().unwrap();
+        assert_eq!(last.tests, out.tests_applied);
+        assert!((last.coverage - out.fault_coverage()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knee_metric() {
+        let (net, cfg, out) = outcome();
+        let curve = coverage_curve(&net, &out, &cfg, 5);
+        let t50 = tests_to_reach(&curve, 0.5).unwrap();
+        let t100 = tests_to_reach(&curve, 1.0).unwrap();
+        assert!(t50 <= t100);
+        assert!(t100 <= out.tests_applied);
+        // Random-pattern coverage grows fastest early.
+        assert!(t50 * 2 <= t100.max(1) * 2); // trivially true; documents intent
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let (net, cfg, out) = outcome();
+        let _ = coverage_curve(&net, &out, &cfg, 0);
+    }
+}

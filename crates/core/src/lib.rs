@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Built-in generation of functional broadside tests — the paper's method.
+//!
+//! Functional broadside tests are scan-based two-pattern tests whose scan-in
+//! state is *reachable*: test application then keeps the circuit in states it
+//! can visit during functional operation, which eliminates overtesting and
+//! bounds test power by functional power (paper §4.1). This crate implements
+//! the full on-chip generation flow:
+//!
+//! * [`extract`] — obtaining a functional broadside test from every two
+//!   consecutive clock cycles of an on-chip primary-input sequence (§4.3);
+//! * [`driver`] — embedded-block modelling: a [`driver::DrivingBlock`]
+//!   constrains the target's primary inputs, and its functional input
+//!   sequences define the peak switching activity `SWAfunc` (§4.4);
+//! * [`unconstrained`] — the baseline method of \[73\] (single-segment
+//!   sequences, seed selection, forward-looking compaction);
+//! * [`constrained`] — **the contribution**: multi-segment primary-input
+//!   sequences whose every clock cycle respects `SWAfunc` (Fig. 4.9);
+//! * [`holding`] — the optional state-holding DFT that recovers coverage by
+//!   introducing controlled unreachable states (§4.5), with the binary-tree
+//!   hold-set selection of Fig. 4.12;
+//! * [`stp`] — the signal-transition-pattern deviation metric sketched as
+//!   future work (§5.1, \[90\]);
+//! * [`experiment`] — the harness producing the rows of Tables 4.2–4.4.
+
+pub mod constrained;
+mod config;
+pub mod curve;
+pub mod domains;
+pub mod driver;
+pub mod experiment;
+pub mod extract;
+pub mod holding;
+pub mod overtest;
+pub mod session;
+pub mod stp;
+pub mod unconstrained;
+
+pub use config::{DeviationMetric, FunctionalBistConfig};
+pub use constrained::{
+    generate_constrained, generate_constrained_from, generate_constrained_with_library,
+    ConstrainedOutcome, MultiSegmentSequence, Segment,
+};
+pub use driver::{swafunc, DrivingBlock};
+pub use holding::{improve_with_holding, improve_with_holding_greedy, HoldingOutcome};
+pub use overtest::{estimate_overtesting, OvertestReport};
+pub use session::{run_on_hardware, SessionResult};
+pub use unconstrained::{generate_unconstrained, GenerationOutcome};

@@ -1,0 +1,147 @@
+//! Cycle-accurate replay of a generated test program through the BIST
+//! hardware models (Figs. 4.2, 4.5, 4.6): TPG, clock-cycle counter, MISR
+//! and scan chains.
+//!
+//! This is the bridge between the *software* view of the method (sequences,
+//! tests, fault coverage) and the *hardware* that would apply it on-chip.
+//! [`run_on_hardware`] drives the circuit from the TPG exactly as the
+//! controller would — seed load and shift-register fill between segments,
+//! the test-apply signal from the counter's low bit, response compaction
+//! into the MISR every capture — and returns the applied tests, the final
+//! signature, and the test-time budget. A matching fault-free signature is
+//! the pass criterion of on-chip test (§4.2).
+
+use fbt_bist::schedule::TestSchedule;
+use fbt_bist::{cube, CycleCounter, Misr, ScanChains, Tpg, TpgSpec};
+use fbt_fault::BroadsideTest;
+use fbt_netlist::Netlist;
+use fbt_sim::seq::SeqSim;
+
+use crate::constrained::ConstrainedOutcome;
+use crate::FunctionalBistConfig;
+
+/// The observable result of a hardware session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// The broadside tests applied, in application order.
+    pub tests: Vec<BroadsideTest>,
+    /// The fault-free MISR signature after the whole session.
+    pub signature: u64,
+    /// Total tester clock cycles (functional cycles + seed loads +
+    /// shift-register fills + scan/circular-shift cycles).
+    pub total_cycles: usize,
+    /// Mean scan shift activity across the session's scan loads — the
+    /// shift-power figure the low-power scan literature targets.
+    pub mean_shift_activity: f64,
+}
+
+/// Replay `outcome`'s multi-segment sequences through the hardware models.
+///
+/// The returned tests are bit-identical to
+/// [`crate::constrained::replay_tests`] — asserted by the workspace's
+/// integration tests — because the TPG model *is* the sequence generator
+/// used during construction.
+///
+/// # Panics
+///
+/// Panics if `outcome` does not belong to `net` (width mismatches).
+pub fn run_on_hardware(
+    net: &Netlist,
+    outcome: &ConstrainedOutcome,
+    cfg: &FunctionalBistConfig,
+) -> SessionResult {
+    let spec = TpgSpec {
+        lfsr_width: cfg.lfsr_width,
+        m: cfg.m,
+        cube: cube::input_cube(net),
+    };
+    let chains = ScanChains::paper_config(net.num_dffs());
+    let schedule = TestSchedule::new(
+        chains.longest(),
+        spec.shift_register_len(),
+        cfg.lfsr_width as usize,
+    );
+    let mut misr = Misr::new(32);
+    let mut tests = Vec::with_capacity(outcome.tests_applied);
+    let mut shift_activity_sum = 0.0f64;
+    let mut shift_loads = 0usize;
+
+    let zero = fbt_sim::Bits::zeros(net.num_dffs());
+    let mut sim = SeqSim::new(net, &zero);
+    for seq in &outcome.sequences {
+        // Scan in the initial state (shift power measured against the
+        // state left by the previous sequence).
+        shift_activity_sum += chains.shift_activity(sim.state(), &seq.initial_state);
+        shift_loads += 1;
+        sim.set_state(&seq.initial_state);
+
+        for seg in &seq.segments {
+            // Seed load + shift-register initialization happen with the
+            // circuit clock gated; the TPG constructor models both.
+            let mut tpg = Tpg::new(spec.clone(), seg.seed);
+            let mut counter = CycleCounter::new();
+            let mut pending: Option<(fbt_sim::Bits, fbt_sim::Bits)> = None;
+            for _ in 0..seg.len {
+                let pi = tpg.next_vector();
+                let launch = counter.test_apply(1);
+                let state_before = sim.state().clone();
+                let r = sim.step(&pi);
+                if launch {
+                    pending = Some((state_before, pi.clone()));
+                } else if let Some((s1, v1)) = pending.take() {
+                    // Capture cycle: the test completes; its response (the
+                    // primary outputs under the second pattern and the
+                    // captured final state) is compacted into the MISR.
+                    tests.push(BroadsideTest::new(s1, v1, pi.clone()));
+                    misr.absorb(&r.outputs);
+                    misr.absorb(&r.next_state);
+                }
+                counter.tick();
+            }
+        }
+    }
+
+    let total_cycles = schedule.total_cycles(&outcome.segment_lengths());
+    SessionResult {
+        tests,
+        signature: misr.signature(),
+        total_cycles,
+        mean_shift_activity: if shift_loads > 0 {
+            shift_activity_sum / shift_loads as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{swafunc, DrivingBlock};
+    use crate::generate_constrained;
+    use fbt_netlist::s27;
+
+    #[test]
+    fn hardware_session_reproduces_the_software_tests() {
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let bound = swafunc(&net, &DrivingBlock::Buffers, &cfg);
+        let out = generate_constrained(&net, bound, &cfg);
+        let session = run_on_hardware(&net, &out, &cfg);
+        let replayed = crate::constrained::replay_tests(&net, &out, &cfg);
+        assert_eq!(session.tests, replayed, "hardware and software disagree");
+        assert_eq!(session.tests.len(), out.tests_applied);
+        assert!(session.total_cycles > out.tests_applied); // scan overhead
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_fault_sensitive() {
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let out = generate_constrained(&net, 1.0, &cfg);
+        let a = run_on_hardware(&net, &out, &cfg);
+        let b = run_on_hardware(&net, &out, &cfg);
+        assert_eq!(a.signature, b.signature);
+        assert!(a.mean_shift_activity >= 0.0 && a.mean_shift_activity <= 1.0);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Delay fault models and broadside fault simulation.
+//!
+//! Implements the fault-model layer of the paper:
+//!
+//! * [`TransitionFault`] — slow-to-rise / slow-to-fall faults on every line
+//!   (paper §1.1, Fig. 1.1), with structural equivalence collapsing;
+//! * [`BroadsideTest`] — scan-based two-pattern tests `<s1, v1, s2, v2>`
+//!   where `s2` is the circuit's response to `<s1, v1>` (paper §1.3,
+//!   Fig. 1.10);
+//! * [`sim::FaultSim`] — bit-parallel (64 tests/word), cone-limited,
+//!   fault-dropping transition-fault simulation;
+//! * [`path`] — structural paths, path delay faults and the *transition path
+//!   delay fault* model of Chapter 2, under which a path delay fault is
+//!   detected only if **all** transition faults along the path are detected
+//!   by the same test.
+
+mod broadside;
+pub mod path;
+pub mod sensitize;
+pub mod sim;
+pub mod stuck;
+mod transition;
+
+pub use broadside::{BroadsideTest, TwoPatternTest};
+pub use path::{Path, TransitionPathDelayFault};
+pub use sensitize::{classify, Sensitization};
+pub use transition::{all_transition_faults, collapse, Transition, TransitionFault};

@@ -1,0 +1,261 @@
+//! Single stuck-at faults and their simulation.
+//!
+//! Transition fault detection decomposes into a launch condition plus
+//! stuck-at detection under the second pattern (paper §1.2, Fig. 1.3); a
+//! standalone stuck-at simulator both grounds that reduction (see the
+//! cross-validation test here) and rounds out the library for plain
+//! combinational test flows.
+
+use std::collections::HashMap;
+
+use fbt_netlist::{Netlist, NodeId};
+use fbt_sim::{comb, Bits};
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StuckAtFault {
+    /// The faulty line.
+    pub line: NodeId,
+    /// The stuck value.
+    pub value: bool,
+}
+
+impl std::fmt::Display for StuckAtFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SA{}@{}", self.value as u8, self.line)
+    }
+}
+
+/// The full stuck-at fault list (two per line).
+pub fn all_stuck_at_faults(net: &Netlist) -> Vec<StuckAtFault> {
+    net.node_ids()
+        .flat_map(|line| {
+            [
+                StuckAtFault { line, value: false },
+                StuckAtFault { line, value: true },
+            ]
+        })
+        .collect()
+}
+
+/// A one-pattern combinational test: a state plus a primary-input vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OnePatternTest {
+    /// Scan-in state.
+    pub state: Bits,
+    /// Primary-input vector.
+    pub inputs: Bits,
+}
+
+/// Bit-parallel stuck-at fault simulator (64 tests per word, cone-limited,
+/// fault dropping) — the single-frame sibling of
+/// [`crate::sim::FaultSim`].
+#[derive(Debug)]
+pub struct StuckAtSim<'a> {
+    net: &'a Netlist,
+    observable: Vec<bool>,
+    cone_cache: HashMap<NodeId, Box<[NodeId]>>,
+}
+
+impl<'a> StuckAtSim<'a> {
+    /// Build a simulator.
+    pub fn new(net: &'a Netlist) -> Self {
+        let mut observable = vec![false; net.num_nodes()];
+        for &o in net.outputs() {
+            observable[o.index()] = true;
+        }
+        for &d in net.dffs() {
+            observable[net.node(d).fanins()[0].index()] = true;
+        }
+        StuckAtSim {
+            net,
+            observable,
+            cone_cache: HashMap::new(),
+        }
+    }
+
+    /// Simulate `tests` against undetected faults; set flags, return the
+    /// number newly detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length/width mismatches.
+    pub fn run(
+        &mut self,
+        tests: &[OnePatternTest],
+        faults: &[StuckAtFault],
+        detected: &mut [bool],
+    ) -> usize {
+        assert_eq!(faults.len(), detected.len(), "flag vector length mismatch");
+        let mut newly = 0;
+        for chunk in tests.chunks(64) {
+            newly += self.run_batch(chunk, faults, detected);
+        }
+        newly
+    }
+
+    /// Does one test detect one fault?
+    pub fn detects(&mut self, test: &OnePatternTest, fault: &StuckAtFault) -> bool {
+        let mut flags = [false];
+        self.run_batch(
+            std::slice::from_ref(test),
+            std::slice::from_ref(fault),
+            &mut flags,
+        );
+        flags[0]
+    }
+
+    fn run_batch(
+        &mut self,
+        tests: &[OnePatternTest],
+        faults: &[StuckAtFault],
+        detected: &mut [bool],
+    ) -> usize {
+        assert!(tests.len() <= 64, "batch too wide");
+        if tests.is_empty() {
+            return 0;
+        }
+        let net = self.net;
+        let lanes_mask: u64 = if tests.len() == 64 {
+            !0
+        } else {
+            (1u64 << tests.len()) - 1
+        };
+        let mut piw = vec![0u64; net.num_inputs()];
+        let mut stw = vec![0u64; net.num_dffs()];
+        for (lane, t) in tests.iter().enumerate() {
+            assert_eq!(t.inputs.len(), net.num_inputs(), "PI width mismatch");
+            assert_eq!(t.state.len(), net.num_dffs(), "state width mismatch");
+            let bit = 1u64 << lane;
+            for (i, w) in piw.iter_mut().enumerate() {
+                if t.inputs.get(i) {
+                    *w |= bit;
+                }
+            }
+            for (i, w) in stw.iter_mut().enumerate() {
+                if t.state.get(i) {
+                    *w |= bit;
+                }
+            }
+        }
+        let mut good = vec![0u64; net.num_nodes()];
+        comb::load_sources_packed(net, &piw, &stw, &mut good);
+        comb::eval_packed(net, &mut good);
+
+        let mut scratch = good.clone();
+        let mut newly = 0;
+        for (fi, fault) in faults.iter().enumerate() {
+            if detected[fi] {
+                continue;
+            }
+            let g = fault.line.index();
+            let stuck_word: u64 = if fault.value { !0 } else { 0 };
+            // Activation: the good value differs from the stuck value.
+            if lanes_mask & (good[g] ^ stuck_word) == 0 {
+                continue;
+            }
+            let cone = self
+                .cone_cache
+                .entry(fault.line)
+                .or_insert_with(|| net.fanout_cone(fault.line).into_boxed_slice());
+            scratch[g] = stuck_word;
+            comb::eval_packed_cone(net, &cone[1..], &mut scratch);
+            let mut diff = 0u64;
+            for &c in cone.iter() {
+                if self.observable[c.index()] {
+                    diff |= scratch[c.index()] ^ good[c.index()];
+                }
+            }
+            for &c in cone.iter() {
+                scratch[c.index()] = good[c.index()];
+            }
+            if diff & lanes_mask != 0 {
+                detected[fi] = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::FaultSim;
+    use crate::{BroadsideTest, Transition, TransitionFault};
+    use fbt_netlist::rng::Rng;
+    use fbt_netlist::s27;
+
+    #[test]
+    fn random_tests_detect_most_stuck_at_faults_on_s27() {
+        let net = s27();
+        let faults = all_stuck_at_faults(&net);
+        let mut rng = Rng::new(4);
+        let tests: Vec<OnePatternTest> = (0..128)
+            .map(|_| OnePatternTest {
+                state: (0..3).map(|_| rng.bit()).collect(),
+                inputs: (0..4).map(|_| rng.bit()).collect(),
+            })
+            .collect();
+        let mut sim = StuckAtSim::new(&net);
+        let mut detected = vec![false; faults.len()];
+        sim.run(&tests, &faults, &mut detected);
+        let cov = detected.iter().filter(|&&d| d).count();
+        assert!(cov * 10 >= faults.len() * 9, "coverage {cov}/{}", faults.len());
+        // Idempotent re-run detects nothing new.
+        assert_eq!(sim.run(&tests, &faults, &mut detected), 0);
+    }
+
+    #[test]
+    fn transition_fault_detection_reduces_to_stuck_at_under_pattern_two() {
+        // Paper §1.2: a broadside test detects a v -> v' transition fault
+        // iff pattern 1 sets the line to v AND pattern 2 detects
+        // stuck-at-v.
+        let net = s27();
+        let mut fsim = FaultSim::new(&net);
+        let mut ssim = StuckAtSim::new(&net);
+        let mut rng = Rng::new(13);
+        for _ in 0..60 {
+            let t = BroadsideTest::new(
+                (0..3).map(|_| rng.bit()).collect(),
+                (0..4).map(|_| rng.bit()).collect(),
+                (0..4).map(|_| rng.bit()).collect(),
+            );
+            let s2 = t.second_state(&net);
+            // Frame-1 values for the launch check.
+            let mut f1 = vec![false; net.num_nodes()];
+            for (i, &id) in net.inputs().iter().enumerate() {
+                f1[id.index()] = t.v1.get(i);
+            }
+            for (i, &id) in net.dffs().iter().enumerate() {
+                f1[id.index()] = t.scan_in.get(i);
+            }
+            fbt_sim::comb::eval_scalar(&net, &mut f1);
+            let p2 = OnePatternTest {
+                state: s2.clone(),
+                inputs: t.v2.clone(),
+            };
+            for line in net.node_ids() {
+                for dir in [Transition::Rise, Transition::Fall] {
+                    let tf = TransitionFault::new(line, dir);
+                    let launch = f1[line.index()] == dir.initial_value();
+                    let sa = StuckAtFault {
+                        line,
+                        value: dir.initial_value(),
+                    };
+                    let expect = launch && ssim.detects(&p2, &sa);
+                    assert_eq!(fsim.detects(&t, &tf), expect, "fault {tf}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        let f = StuckAtFault {
+            line: NodeId(2),
+            value: true,
+        };
+        assert_eq!(f.to_string(), "SA1@n2");
+    }
+}

@@ -1,0 +1,215 @@
+//! The transition fault model (paper §1.1).
+
+use std::fmt;
+
+use fbt_netlist::{GateKind, Netlist, NodeId};
+
+/// Direction of a delayed transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Transition {
+    /// Slow-to-rise: the line is 0 under the first pattern and should become
+    /// 1 under the second.
+    Rise,
+    /// Slow-to-fall: 1 under the first pattern, should become 0.
+    Fall,
+}
+
+impl Transition {
+    /// The value the line must have under the first pattern.
+    #[inline]
+    pub fn initial_value(self) -> bool {
+        matches!(self, Transition::Fall)
+    }
+
+    /// The fault-free value under the second pattern.
+    #[inline]
+    pub fn final_value(self) -> bool {
+        matches!(self, Transition::Rise)
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn flip(self) -> Transition {
+        match self {
+            Transition::Rise => Transition::Fall,
+            Transition::Fall => Transition::Rise,
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Transition::Rise => "STR",
+            Transition::Fall => "STF",
+        })
+    }
+}
+
+/// A transition fault: a large delay on one `line`, in one direction.
+///
+/// Detected by a broadside test that establishes the initial value under the
+/// first pattern and detects the corresponding stuck-at fault under the
+/// second pattern (paper Fig. 1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionFault {
+    /// The faulty line.
+    pub line: NodeId,
+    /// Fault direction.
+    pub transition: Transition,
+}
+
+impl TransitionFault {
+    /// Construct a fault.
+    pub fn new(line: NodeId, transition: Transition) -> Self {
+        TransitionFault { line, transition }
+    }
+}
+
+impl fmt::Display for TransitionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.transition, self.line)
+    }
+}
+
+/// The full (uncollapsed) transition fault list: two faults per line.
+///
+/// Lines are all nodes of the netlist — primary inputs, flip-flop outputs
+/// and gate outputs.
+pub fn all_transition_faults(net: &Netlist) -> Vec<TransitionFault> {
+    net.node_ids()
+        .flat_map(|id| {
+            [
+                TransitionFault::new(id, Transition::Rise),
+                TransitionFault::new(id, Transition::Fall),
+            ]
+        })
+        .collect()
+}
+
+/// Structurally collapse a transition fault list.
+///
+/// A fault at the output of a single-fanout `BUF` is equivalent to the same
+/// fault at its input; through a single-fanout `NOT` it is equivalent to the
+/// opposite-direction fault at the input. Representatives are chosen at the
+/// driver side (closest to the sources), matching the convention used by
+/// commercial fault-list reports ("after fault collapsing", Table 4.3).
+pub fn collapse(net: &Netlist, faults: &[TransitionFault]) -> Vec<TransitionFault> {
+    let mut keep = Vec::with_capacity(faults.len());
+    let mut seen = std::collections::HashSet::with_capacity(faults.len());
+    for &f in faults {
+        let rep = representative(net, f);
+        if seen.insert(rep) {
+            keep.push(rep);
+        }
+    }
+    keep
+}
+
+/// Walk a fault backwards through single-fanout buffers/inverters to its
+/// representative.
+fn representative(net: &Netlist, mut f: TransitionFault) -> TransitionFault {
+    loop {
+        let node = net.node(f.line);
+        let through = match node.kind() {
+            GateKind::Buf => Some(false),
+            GateKind::Not => Some(true),
+            _ => None,
+        };
+        let Some(inverting) = through else {
+            return f;
+        };
+        let fanin = node.fanins()[0];
+        if net.node(fanin).fanouts().len() != 1 {
+            return f;
+        }
+        f = TransitionFault::new(
+            fanin,
+            if inverting {
+                f.transition.flip()
+            } else {
+                f.transition
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::{NetlistBuilder, s27};
+
+    #[test]
+    fn full_list_has_two_faults_per_line() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        assert_eq!(faults.len(), 2 * net.num_nodes());
+    }
+
+    #[test]
+    fn initial_and_final_values() {
+        assert!(!Transition::Rise.initial_value());
+        assert!(Transition::Rise.final_value());
+        assert!(Transition::Fall.initial_value());
+        assert!(!Transition::Fall.final_value());
+        assert_eq!(Transition::Rise.flip(), Transition::Fall);
+    }
+
+    #[test]
+    fn collapse_through_buffer_chain() {
+        let mut b = NetlistBuilder::new("chain");
+        b.input("a").unwrap();
+        b.gate(GateKind::Buf, "x", &["a"]).unwrap();
+        b.gate(GateKind::Not, "y", &["x"]).unwrap();
+        b.output("y").unwrap();
+        let net = b.finish().unwrap();
+        let faults = all_transition_faults(&net);
+        let collapsed = collapse(&net, &faults);
+        // a, x(=a), y(=!x=!a): everything collapses onto `a`: 2 faults remain.
+        assert_eq!(collapsed.len(), 2);
+        let a = net.find("a").unwrap();
+        assert!(collapsed.iter().all(|f| f.line == a));
+    }
+
+    #[test]
+    fn no_collapse_through_fanout() {
+        let mut b = NetlistBuilder::new("fan");
+        b.input("a").unwrap();
+        b.gate(GateKind::Buf, "x", &["a"]).unwrap();
+        b.gate(GateKind::Not, "y", &["a"]).unwrap();
+        b.output("x").unwrap();
+        b.output("y").unwrap();
+        let net = b.finish().unwrap();
+        let collapsed = collapse(&net, &all_transition_faults(&net));
+        // `a` fans out twice: faults at x and y stay distinct from a's.
+        assert_eq!(collapsed.len(), 6);
+    }
+
+    #[test]
+    fn inverter_flips_direction() {
+        let mut b = NetlistBuilder::new("inv");
+        b.input("a").unwrap();
+        b.gate(GateKind::Not, "y", &["a"]).unwrap();
+        b.output("y").unwrap();
+        let net = b.finish().unwrap();
+        let y = net.find("y").unwrap();
+        let a = net.find("a").unwrap();
+        let rep = representative(&net, TransitionFault::new(y, Transition::Rise));
+        assert_eq!(rep, TransitionFault::new(a, Transition::Fall));
+    }
+
+    #[test]
+    fn collapse_is_idempotent_on_s27() {
+        let net = s27();
+        let once = collapse(&net, &all_transition_faults(&net));
+        let twice = collapse(&net, &once);
+        assert_eq!(once, twice);
+        assert!(once.len() <= 2 * net.num_nodes());
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = TransitionFault::new(NodeId(3), Transition::Rise);
+        assert_eq!(f.to_string(), "STR@n3");
+    }
+}

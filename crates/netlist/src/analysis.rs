@@ -1,0 +1,180 @@
+//! Structural netlist analysis: the circuit-characterization quantities the
+//! experiment chapters reason about (logic depth, fanout structure,
+//! reconvergence, sequential connectivity).
+
+use crate::{Netlist, NodeId};
+
+/// A structural profile of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuralProfile {
+    /// Combinational depth (maximum logic level).
+    pub depth: u32,
+    /// Mean fanout over all nodes with at least one consumer.
+    pub mean_fanout: f64,
+    /// Maximum fanout.
+    pub max_fanout: usize,
+    /// Number of fanout stems (nodes with more than one consumer) — the
+    /// sites where reconvergence can originate.
+    pub fanout_stems: usize,
+    /// Number of *reconvergent* stems: fanout stems whose branches meet
+    /// again at some gate (the structures that defeat robust tests, §2.2).
+    pub reconvergent_stems: usize,
+    /// Number of gates unobservable at any output or flip-flop.
+    pub dead_gates: usize,
+    /// Length of the longest purely combinational path (in gates).
+    pub longest_path_gates: usize,
+}
+
+/// Compute the profile.
+pub fn profile(net: &Netlist) -> StructuralProfile {
+    let mut max_fanout = 0usize;
+    let mut fanout_sum = 0usize;
+    let mut driven = 0usize;
+    let mut fanout_stems = 0usize;
+    let mut reconvergent_stems = 0usize;
+    for id in net.node_ids() {
+        let f = net.node(id).fanouts().len();
+        if f > 0 {
+            driven += 1;
+            fanout_sum += f;
+        }
+        max_fanout = max_fanout.max(f);
+        if f > 1 {
+            fanout_stems += 1;
+            if is_reconvergent(net, id) {
+                reconvergent_stems += 1;
+            }
+        }
+    }
+
+    // Dead gates: not in the fanin cone of any observable point.
+    let mut live = vec![false; net.num_nodes()];
+    let mark = |live: &mut Vec<bool>, seed: NodeId, net: &Netlist| {
+        let cone = net.fanin_cone(seed);
+        for (i, &inc) in cone.iter().enumerate() {
+            if inc {
+                live[i] = true;
+            }
+        }
+    };
+    for &o in net.outputs() {
+        mark(&mut live, o, net);
+    }
+    for &d in net.dffs() {
+        mark(&mut live, net.node(d).fanins()[0], net);
+    }
+    let dead_gates = net
+        .eval_order()
+        .iter()
+        .filter(|&&g| !live[g.index()])
+        .count();
+
+    // Longest combinational path in gates = max level over gates.
+    let longest_path_gates = net
+        .eval_order()
+        .iter()
+        .map(|&g| net.level(g) as usize)
+        .max()
+        .unwrap_or(0);
+
+    StructuralProfile {
+        depth: net.depth(),
+        mean_fanout: if driven == 0 {
+            0.0
+        } else {
+            fanout_sum as f64 / driven as f64
+        },
+        max_fanout,
+        fanout_stems,
+        reconvergent_stems,
+        dead_gates,
+        longest_path_gates,
+    }
+}
+
+/// Do two branches of `stem` meet again at some downstream gate?
+fn is_reconvergent(net: &Netlist, stem: NodeId) -> bool {
+    // For each immediate fanout branch, compute the set of gates reachable
+    // without passing through the stem again; reconvergence = any gate
+    // reachable from two distinct branches.
+    let branches: Vec<NodeId> = net
+        .node(stem)
+        .fanouts()
+        .iter()
+        .copied()
+        .filter(|&f| !net.node(f).kind().is_source())
+        .collect();
+    if branches.len() < 2 {
+        return false;
+    }
+    let mut owner: Vec<Option<usize>> = vec![None; net.num_nodes()];
+    for (b, &start) in branches.iter().enumerate() {
+        let mut stack = vec![start];
+        while let Some(id) = stack.pop() {
+            match owner[id.index()] {
+                Some(o) if o == b => continue,
+                Some(_) => return true, // reached from a different branch
+                None => owner[id.index()] = Some(b),
+            }
+            for &fo in net.node(id).fanouts() {
+                if !net.node(fo).kind().is_source() {
+                    stack.push(fo);
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{s27, synth, GateKind, NetlistBuilder};
+
+    #[test]
+    fn s27_profile() {
+        let p = profile(&s27());
+        assert_eq!(p.depth, 6);
+        assert!(p.max_fanout >= 2);
+        assert!(p.fanout_stems >= 3);
+        // G8 fans out to G15 and G16 which reconverge at G9.
+        assert!(p.reconvergent_stems >= 1);
+        assert_eq!(p.dead_gates, 0, "everything in s27 is observable");
+    }
+
+    #[test]
+    fn reconvergence_detection() {
+        // y = AND(a, NOT(a)) reconverges at y; a is a reconvergent stem.
+        let mut b = NetlistBuilder::new("rc");
+        b.input("a").unwrap();
+        b.gate(GateKind::Not, "n", &["a"]).unwrap();
+        b.gate(GateKind::And, "y", &["a", "n"]).unwrap();
+        b.output("y").unwrap();
+        let net = b.finish().unwrap();
+        assert!(is_reconvergent(&net, net.find("a").unwrap()));
+        // A pure fanout tree does not reconverge.
+        let mut b = NetlistBuilder::new("tree");
+        b.input("a").unwrap();
+        b.gate(GateKind::Buf, "x", &["a"]).unwrap();
+        b.gate(GateKind::Not, "y", &["a"]).unwrap();
+        b.output("x").unwrap();
+        b.output("y").unwrap();
+        let net = b.finish().unwrap();
+        assert!(!is_reconvergent(&net, net.find("a").unwrap()));
+    }
+
+    #[test]
+    fn catalog_circuits_are_reconvergent_and_alive() {
+        for name in ["s298", "s953", "spi"] {
+            let net = synth::generate(&synth::find(name).unwrap().scaled(8));
+            let p = profile(&net);
+            assert!(p.reconvergent_stems > 0, "{name} has no reconvergence?");
+            assert!(
+                p.dead_gates * 50 <= net.num_gates(),
+                "{name}: {} dead gates",
+                p.dead_gates
+            );
+            assert!(p.mean_fanout >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Incremental construction and validation of [`Netlist`]s.
+
+use std::collections::HashMap;
+
+use crate::{GateKind, Netlist, NetlistError, Node, NodeId};
+
+/// Builder for [`Netlist`].
+///
+/// Signals may be referenced before they are defined (netlist formats list
+/// gates in arbitrary order); all references are resolved in
+/// [`NetlistBuilder::finish`], which also rejects combinational cycles,
+/// computes fanouts and levelizes the circuit.
+///
+/// # Example
+///
+/// ```
+/// use fbt_netlist::{GateKind, NetlistBuilder};
+/// # fn main() -> Result<(), fbt_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("latch_loop");
+/// b.input("en")?;
+/// b.dff("q", "d")?;
+/// b.gate(GateKind::Xor, "d", &["en", "q"])?;
+/// b.output("q")?;
+/// let net = b.finish()?;
+/// assert_eq!(net.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    defs: Vec<ProtoNode>,
+    by_name: HashMap<String, usize>,
+    outputs: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct ProtoNode {
+    name: String,
+    kind: GateKind,
+    fanin_names: Vec<String>,
+}
+
+impl NetlistBuilder {
+    /// Start building a netlist with the given circuit name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            defs: Vec::new(),
+            by_name: HashMap::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    fn define(&mut self, name: &str, kind: GateKind, fanins: Vec<String>) -> Result<NodeId, NetlistError> {
+        if self.by_name.contains_key(name) {
+            return Err(NetlistError::DuplicateName(name.to_string()));
+        }
+        let idx = self.defs.len();
+        self.by_name.insert(name.to_string(), idx);
+        self.defs.push(ProtoNode {
+            name: name.to_string(),
+            kind,
+            fanin_names: fanins,
+        });
+        Ok(NodeId(idx as u32))
+    }
+
+    /// Declare a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is already defined.
+    pub fn input(&mut self, name: &str) -> Result<NodeId, NetlistError> {
+        self.define(name, GateKind::Input, Vec::new())
+    }
+
+    /// Declare a D flip-flop named `q` whose next state is driven by signal
+    /// `d` (which may be defined later).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if `q` is already defined.
+    pub fn dff(&mut self, q: &str, d: &str) -> Result<NodeId, NetlistError> {
+        self.define(q, GateKind::Dff, vec![d.to_string()])
+    }
+
+    /// Declare a combinational gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] for a redefinition, or
+    /// [`NetlistError::BadFaninCount`] when the arity is invalid for `kind`
+    /// (single-input kinds take exactly one fanin, all others at least one).
+    pub fn gate(&mut self, kind: GateKind, name: &str, fanins: &[&str]) -> Result<NodeId, NetlistError> {
+        let bad = match kind {
+            GateKind::Input | GateKind::Dff => true,
+            GateKind::Not | GateKind::Buf => fanins.len() != 1,
+            _ => fanins.is_empty(),
+        };
+        if bad {
+            return Err(NetlistError::BadFaninCount {
+                name: name.to_string(),
+                got: fanins.len(),
+            });
+        }
+        self.define(name, kind, fanins.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Declare a primary output driven by signal `name` (defined before or
+    /// after this call).
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for forward compatibility.
+    pub fn output(&mut self, name: &str) -> Result<(), NetlistError> {
+        self.outputs.push(name.to_string());
+        Ok(())
+    }
+
+    /// Number of signals defined so far.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether no signals have been defined yet.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Resolve all references, validate, levelize, and produce the [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UndefinedName`] — a fanin or output references a
+    ///   signal that was never defined.
+    /// * [`NetlistError::CombinationalCycle`] — the gates (ignoring flip-flop
+    ///   boundaries) contain a cycle.
+    /// * [`NetlistError::NoSources`] — there are no inputs and no flip-flops.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        let n = self.defs.len();
+        let mut nodes: Vec<Node> = Vec::with_capacity(n);
+        let mut node_names = Vec::with_capacity(n);
+        let mut inputs = Vec::new();
+        let mut dffs = Vec::new();
+
+        for (i, p) in self.defs.iter().enumerate() {
+            let mut fanins = Vec::with_capacity(p.fanin_names.len());
+            for f in &p.fanin_names {
+                let idx = self
+                    .by_name
+                    .get(f)
+                    .ok_or_else(|| NetlistError::UndefinedName(f.clone()))?;
+                fanins.push(NodeId(*idx as u32));
+            }
+            match p.kind {
+                GateKind::Input => inputs.push(NodeId(i as u32)),
+                GateKind::Dff => dffs.push(NodeId(i as u32)),
+                _ => {}
+            }
+            nodes.push(Node {
+                kind: p.kind,
+                fanins,
+                fanouts: Vec::new(),
+            });
+            node_names.push(p.name.clone());
+        }
+
+        if inputs.is_empty() && dffs.is_empty() {
+            return Err(NetlistError::NoSources);
+        }
+
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for o in &self.outputs {
+            let idx = self
+                .by_name
+                .get(o)
+                .ok_or_else(|| NetlistError::UndefinedName(o.clone()))?;
+            outputs.push(NodeId(*idx as u32));
+        }
+
+        // Fanouts.
+        for i in 0..n {
+            let fanins = nodes[i].fanins.clone();
+            for f in fanins {
+                nodes[f.index()].fanouts.push(NodeId(i as u32));
+            }
+        }
+
+        // Kahn levelization over the combinational gates; DFFs and inputs are
+        // level-0 sources and DFF D-inputs do not create combinational edges.
+        let mut pending: Vec<usize> = nodes
+            .iter()
+            .map(|nd| if nd.kind.is_source() { 0 } else { nd.fanins.len() })
+            .collect();
+        let mut levels = vec![0u32; n];
+        let mut eval_order = Vec::with_capacity(n);
+        let mut queue: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|id| nodes[id.index()].kind.is_source())
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            let node = &nodes[id.index()];
+            if !node.kind.is_source() {
+                eval_order.push(id);
+            }
+            for &fo in &node.fanouts {
+                let fo_node = &nodes[fo.index()];
+                if fo_node.kind.is_source() {
+                    continue; // DFF boundary: no combinational edge
+                }
+                levels[fo.index()] = levels[fo.index()].max(levels[id.index()] + 1);
+                pending[fo.index()] -= 1;
+                if pending[fo.index()] == 0 {
+                    queue.push(fo);
+                }
+            }
+        }
+        if let Some((i, _)) = pending.iter().enumerate().find(|&(_, &p)| p > 0) {
+            return Err(NetlistError::CombinationalCycle(node_names[i].clone()));
+        }
+
+        Ok(Netlist {
+            name: self.name,
+            nodes,
+            node_names,
+            inputs,
+            outputs,
+            dffs,
+            eval_order,
+            levels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = NetlistBuilder::new("fw");
+        b.output("y").unwrap();
+        b.gate(GateKind::And, "y", &["a", "b"]).unwrap();
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        let n = b.finish().unwrap();
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.num_gates(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        b.input("a").unwrap();
+        assert_eq!(
+            b.input("a"),
+            Err(NetlistError::DuplicateName("a".to_string()))
+        );
+    }
+
+    #[test]
+    fn undefined_rejected() {
+        let mut b = NetlistBuilder::new("undef");
+        b.input("a").unwrap();
+        b.gate(GateKind::Not, "y", &["ghost"]).unwrap();
+        assert!(matches!(b.finish(), Err(NetlistError::UndefinedName(_))));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let mut b = NetlistBuilder::new("cyc");
+        b.input("a").unwrap();
+        b.gate(GateKind::And, "x", &["a", "y"]).unwrap();
+        b.gate(GateKind::And, "y", &["a", "x"]).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn sequential_loop_through_dff_is_fine() {
+        let mut b = NetlistBuilder::new("seq");
+        b.input("a").unwrap();
+        b.dff("q", "d").unwrap();
+        b.gate(GateKind::Xor, "d", &["a", "q"]).unwrap();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut b = NetlistBuilder::new("ar");
+        b.input("a").unwrap();
+        assert!(b.gate(GateKind::Not, "y", &["a", "a"]).is_err());
+        assert!(b.gate(GateKind::And, "z", &[]).is_err());
+    }
+
+    #[test]
+    fn no_sources_rejected() {
+        let b = NetlistBuilder::new("empty");
+        assert_eq!(b.finish().unwrap_err(), NetlistError::NoSources);
+    }
+}

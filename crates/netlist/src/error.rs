@@ -1,0 +1,79 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A signal name was defined more than once.
+    DuplicateName(String),
+    /// A referenced signal name was never defined.
+    UndefinedName(String),
+    /// A gate keyword was not recognised.
+    UnknownGateKind(String),
+    /// A gate was declared with an invalid number of fanins.
+    BadFaninCount {
+        /// Name of the offending gate.
+        name: String,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// The combinational logic contains a cycle (through the named node).
+    CombinationalCycle(String),
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The netlist has no primary inputs and no flip-flops.
+    NoSources,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "signal `{n}` defined more than once"),
+            NetlistError::UndefinedName(n) => write!(f, "signal `{n}` referenced but never defined"),
+            NetlistError::UnknownGateKind(k) => write!(f, "unknown gate kind `{k}`"),
+            NetlistError::BadFaninCount { name, got } => {
+                write!(f, "gate `{name}` has invalid fanin count {got}")
+            }
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through `{n}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::NoSources => write!(f, "netlist has no primary inputs or flip-flops"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            NetlistError::DuplicateName("x".into()),
+            NetlistError::UndefinedName("y".into()),
+            NetlistError::UnknownGateKind("Z".into()),
+            NetlistError::BadFaninCount { name: "g".into(), got: 0 },
+            NetlistError::CombinationalCycle("c".into()),
+            NetlistError::Parse { line: 3, message: "bad".into() },
+            NetlistError::NoSources,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Gate kinds and their Boolean semantics.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::NetlistError;
+
+/// The kind of a netlist node.
+///
+/// `Input` and `Dff` are *sources* for combinational evaluation: a primary
+/// input takes its value from the applied vector, a D flip-flop output takes
+/// its value from the present state. All other kinds are combinational gates
+/// evaluated from their fanins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Primary input (no fanins).
+    Input,
+    /// D flip-flop. The node's value is the *present-state* bit; `fanins[0]`
+    /// is the driver of the D (next-state) input.
+    Dff,
+    /// Logical AND of all fanins.
+    And,
+    /// Logical NAND of all fanins.
+    Nand,
+    /// Logical OR of all fanins.
+    Or,
+    /// Logical NOR of all fanins.
+    Nor,
+    /// Exclusive OR of all fanins.
+    Xor,
+    /// Exclusive NOR of all fanins.
+    Xnor,
+    /// Inverter (single fanin).
+    Not,
+    /// Buffer (single fanin).
+    Buf,
+}
+
+impl GateKind {
+    /// All combinational kinds, useful for random generation.
+    pub const COMBINATIONAL: [GateKind; 8] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+
+    /// `true` for `Input` and `Dff`, the sources of combinational evaluation.
+    #[inline]
+    pub fn is_source(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::Dff)
+    }
+
+    /// `true` for single-input kinds (`Not`, `Buf`; `Dff` also has exactly one
+    /// fanin but is a source).
+    #[inline]
+    pub fn is_unate_single(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Buf)
+    }
+
+    /// The *controlling value* of the gate, if it has one.
+    ///
+    /// A controlling value on any input determines the output regardless of
+    /// the other inputs (`0` for AND/NAND, `1` for OR/NOR). XOR-class and
+    /// single-input gates have none.
+    #[inline]
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The output value produced when a controlling value is present on some
+    /// input (e.g. `0` for AND, `1` for NAND).
+    #[inline]
+    pub fn controlled_output(self) -> Option<bool> {
+        match self {
+            GateKind::And => Some(false),
+            GateKind::Nand => Some(true),
+            GateKind::Or => Some(true),
+            GateKind::Nor => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Whether the gate inverts its inputs' parity (NAND/NOR/XNOR/NOT).
+    ///
+    /// For delay-fault polarity tracking, a transition propagating through an
+    /// inverting gate flips direction (rising becomes falling).
+    #[inline]
+    pub fn inverts(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// Evaluate the gate over boolean fanin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a source kind, or with a wrong fanin count for
+    /// single-input kinds.
+    pub fn eval(self, fanins: &[bool]) -> bool {
+        match self {
+            GateKind::Input | GateKind::Dff => {
+                panic!("source nodes are not combinationally evaluated")
+            }
+            GateKind::And => fanins.iter().all(|&v| v),
+            GateKind::Nand => !fanins.iter().all(|&v| v),
+            GateKind::Or => fanins.iter().any(|&v| v),
+            GateKind::Nor => !fanins.iter().any(|&v| v),
+            GateKind::Xor => fanins.iter().fold(false, |a, &v| a ^ v),
+            GateKind::Xnor => !fanins.iter().fold(false, |a, &v| a ^ v),
+            GateKind::Not => !fanins[0],
+            GateKind::Buf => fanins[0],
+        }
+    }
+
+    /// The `.bench` keyword for this kind.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Dff => "DFF",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+impl FromStr for GateKind {
+    type Err = NetlistError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "INPUT" => Ok(GateKind::Input),
+            "DFF" => Ok(GateKind::Dff),
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "NOT" => Ok(GateKind::Not),
+            "BUFF" | "BUF" => Ok(GateKind::Buf),
+            other => Err(NetlistError::UnknownGateKind(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_truth_tables() {
+        use GateKind::*;
+        assert!(And.eval(&[true, true]));
+        assert!(!And.eval(&[true, false]));
+        assert!(!Nand.eval(&[true, true]));
+        assert!(Nand.eval(&[false, true]));
+        assert!(Or.eval(&[false, true]));
+        assert!(!Or.eval(&[false, false]));
+        assert!(Nor.eval(&[false, false]));
+        assert!(!Nor.eval(&[true, false]));
+        assert!(Xor.eval(&[true, false, false]));
+        assert!(!Xor.eval(&[true, true, false]));
+        assert!(Xnor.eval(&[true, true]));
+        assert!(!Xnor.eval(&[true, false]));
+        assert!(Not.eval(&[false]));
+        assert!(Buf.eval(&[true]));
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Nand.controlled_output(), Some(true));
+    }
+
+    #[test]
+    fn inversion_parity() {
+        assert!(GateKind::Nand.inverts());
+        assert!(GateKind::Not.inverts());
+        assert!(!GateKind::And.inverts());
+        assert!(!GateKind::Buf.inverts());
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kind in GateKind::COMBINATIONAL {
+            let parsed: GateKind = kind.bench_keyword().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("FROB".parse::<GateKind>().is_err());
+    }
+}

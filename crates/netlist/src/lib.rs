@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+
+//! Gate-level sequential netlists for scan-based delay testing.
+//!
+//! This crate is the structural substrate of the `fbt` workspace. It provides:
+//!
+//! * [`Netlist`] — an immutable, levelized gate-level netlist with primary
+//!   inputs, primary outputs and D flip-flops (state variables), built through
+//!   [`NetlistBuilder`];
+//! * [`mod@bench`] — a parser and writer for the ISCAS89 `.bench` format;
+//! * [`synth`] — a deterministic synthetic benchmark generator together with a
+//!   catalog that mirrors the interface parameters (inputs / outputs / state
+//!   variables / approximate gate count) of the circuits used in the paper's
+//!   evaluation (ISCAS89, ITC99 and IWLS2005 benchmark suites);
+//! * [`rng`] — a small, dependency-free, reproducible PRNG used everywhere in
+//!   the workspace so that every experiment is replayable from a `u64` seed.
+//!
+//! # Example
+//!
+//! ```
+//! use fbt_netlist::{GateKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), fbt_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("toy");
+//! b.input("a")?;
+//! b.input("b")?;
+//! b.dff("q", "d")?; // state variable q, next-state driven by d
+//! b.gate(fbt_netlist::GateKind::Nand, "d", &["a", "q"])?;
+//! b.gate(GateKind::Or, "y", &["d", "b"])?;
+//! b.output("y")?;
+//! let net = b.finish()?;
+//! assert_eq!(net.num_inputs(), 2);
+//! assert_eq!(net.num_dffs(), 1);
+//! assert_eq!(net.num_outputs(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod bench;
+mod builder;
+mod error;
+mod gate;
+mod netlist;
+pub mod rng;
+pub mod synth;
+pub mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use netlist::{Netlist, Node, NodeId};
+
+/// The genuine ISCAS89 `s27` benchmark circuit (4 inputs, 1 output, 3 flip-flops).
+///
+/// This is the one benchmark circuit small enough to embed verbatim; all other
+/// benchmark-like circuits come from [`synth`].
+///
+/// # Example
+///
+/// ```
+/// let s27 = fbt_netlist::s27();
+/// assert_eq!(s27.num_inputs(), 4);
+/// assert_eq!(s27.num_dffs(), 3);
+/// assert_eq!(s27.num_outputs(), 1);
+/// ```
+pub fn s27() -> Netlist {
+    const S27: &str = "\
+# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+    bench::parse(S27, "s27").expect("embedded s27 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_shape() {
+        let n = s27();
+        assert_eq!(n.num_inputs(), 4);
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.num_dffs(), 3);
+        // 4 PIs + 3 DFFs + 10 gates
+        assert_eq!(n.num_nodes(), 17);
+        assert_eq!(n.name(), "s27");
+    }
+}

@@ -1,0 +1,328 @@
+//! The immutable, levelized [`Netlist`] structure.
+
+use std::fmt;
+
+use crate::GateKind;
+
+/// Index of a node (line) in a [`Netlist`].
+///
+/// Every node — primary input, flip-flop output, or gate output — is a *line*
+/// in the delay-testing sense: the site of potential transition faults and a
+/// contributor to switching activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize`, for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single node of a [`Netlist`].
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: Vec<NodeId>,
+    pub(crate) fanouts: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's gate kind.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Fanin drivers. For a [`GateKind::Dff`] node this is the single driver
+    /// of its D (next-state) input; for an input it is empty.
+    #[inline]
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+
+    /// Nodes that consume this node's value (including DFF nodes whose D input
+    /// it drives).
+    #[inline]
+    pub fn fanouts(&self) -> &[NodeId] {
+        &self.fanouts
+    }
+}
+
+/// An immutable gate-level sequential netlist.
+///
+/// Construction goes through [`crate::NetlistBuilder`] (or the
+/// [`crate::bench`] parser), which validates the structure, computes fanouts,
+/// levelizes the combinational logic and produces a topological evaluation
+/// order. See the crate-level documentation for an example.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) node_names: Vec<String>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) dffs: Vec<NodeId>,
+    pub(crate) eval_order: Vec<NodeId>,
+    pub(crate) levels: Vec<u32>,
+}
+
+impl Netlist {
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (primary inputs + flip-flops + gates).
+    ///
+    /// This is the number of *lines* used as the denominator of switching
+    /// activity and as the site count for transition faults.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of D flip-flops (state variables).
+    #[inline]
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Number of combinational gates (nodes that are neither inputs nor DFFs).
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.eval_order.len()
+    }
+
+    /// Primary input nodes, in declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output *driver* nodes, in declaration order.
+    ///
+    /// `.bench` outputs name an existing signal, so an output is represented
+    /// by the node that drives it.
+    #[inline]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Flip-flop nodes (the present-state variables), in declaration order.
+    ///
+    /// The scan chain order used by the rest of the workspace is exactly this
+    /// order.
+    #[inline]
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// Topological evaluation order over the combinational gates.
+    ///
+    /// Sources (inputs and DFF outputs) are excluded; evaluating gates in this
+    /// order guarantees fanins are ready.
+    #[inline]
+    pub fn eval_order(&self) -> &[NodeId] {
+        &self.eval_order
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The name of a node.
+    #[inline]
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.index()]
+    }
+
+    /// Look up a node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.node_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Logic level of a node: 0 for sources, `1 + max(fanin levels)` for gates.
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Maximum logic level in the circuit (the combinational depth).
+    pub fn depth(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Whether a node's value is observable as a primary output.
+    pub fn is_po_driver(&self, id: NodeId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// The transitive fanout cone of `seed` (including `seed` itself),
+    /// returned in topological order. DFF nodes terminate the cone: a DFF's
+    /// D input is *in* the cone (the capture point) but the cone does not
+    /// continue through the flip-flop into the next time frame.
+    pub fn fanout_cone(&self, seed: NodeId) -> Vec<NodeId> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        in_cone[seed.index()] = true;
+        let mut cone = Vec::new();
+        if !self.node(seed).kind().is_source() {
+            cone.push(seed);
+        }
+        for &id in &self.eval_order {
+            if in_cone[id.index()] {
+                // already marked (it is the seed and a gate)
+            } else if self.nodes[id.index()]
+                .fanins
+                .iter()
+                .any(|f| in_cone[f.index()])
+            {
+                in_cone[id.index()] = true;
+                cone.push(id);
+            }
+        }
+        if self.node(seed).kind().is_source() {
+            let mut with_seed = Vec::with_capacity(cone.len() + 1);
+            with_seed.push(seed);
+            with_seed.extend(cone);
+            return with_seed;
+        }
+        cone
+    }
+
+    /// The transitive fanin cone of `seed` (including `seed`), as a set of
+    /// marked nodes. Stops at sources (inputs, DFF outputs).
+    pub fn fanin_cone(&self, seed: NodeId) -> Vec<bool> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        let mut stack = vec![seed];
+        while let Some(id) = stack.pop() {
+            if in_cone[id.index()] {
+                continue;
+            }
+            in_cone[id.index()] = true;
+            if !self.node(id).kind().is_source() {
+                stack.extend(self.node(id).fanins().iter().copied());
+            }
+        }
+        in_cone
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PIs, {} POs, {} DFFs, {} gates, depth {}",
+            self.name,
+            self.num_inputs(),
+            self.num_outputs(),
+            self.num_dffs(),
+            self.num_gates(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::s27;
+
+    #[test]
+    fn eval_order_respects_fanins() {
+        let n = s27();
+        let mut seen = vec![false; n.num_nodes()];
+        for id in n.inputs().iter().chain(n.dffs()) {
+            seen[id.index()] = true;
+        }
+        for &id in n.eval_order() {
+            for f in n.node(id).fanins() {
+                assert!(seen[f.index()], "fanin {f} of {id} not yet evaluated");
+            }
+            seen[id.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fanouts_are_inverse_of_fanins() {
+        let n = s27();
+        for id in n.node_ids() {
+            for &f in n.node(id).fanins() {
+                assert!(n.node(f).fanouts().contains(&id));
+            }
+            for &fo in n.node(id).fanouts() {
+                assert!(n.node(fo).fanins().contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_cone_from_input_contains_output() {
+        let n = s27();
+        let g0 = n.find("G0").unwrap();
+        let cone = n.fanout_cone(g0);
+        let g17 = n.find("G17").unwrap();
+        assert!(cone.contains(&g17), "G0 reaches G17 through G14/G10/G11");
+        assert_eq!(cone[0], g0);
+    }
+
+    #[test]
+    fn fanin_cone_of_output() {
+        let n = s27();
+        let g17 = n.find("G17").unwrap();
+        let cone = n.fanin_cone(g17);
+        // G17 = NOT(G11), G11 = NOR(G5, G9): both must be in the cone.
+        assert!(cone[n.find("G11").unwrap().index()]);
+        assert!(cone[n.find("G5").unwrap().index()]);
+        // cone stops at the DFF: G10 (D input of G5) must NOT be included.
+        assert!(!cone[n.find("G2").unwrap().index()]);
+    }
+
+    #[test]
+    fn levels_increase_along_fanin() {
+        let n = s27();
+        for &id in n.eval_order() {
+            let lvl = n.level(id);
+            for &f in n.node(id).fanins() {
+                assert!(n.level(f) < lvl);
+            }
+        }
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let n = s27();
+        let s = n.to_string();
+        assert!(s.contains("4 PIs"));
+        assert!(s.contains("3 DFFs"));
+    }
+}

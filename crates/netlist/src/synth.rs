@@ -1,0 +1,524 @@
+//! Deterministic synthetic benchmark circuits.
+//!
+//! The paper's evaluation uses the ISCAS89, ITC99 and IWLS2005 benchmark
+//! suites, which are distributed separately from the paper and are not
+//! shipped here. This module substitutes a *deterministic synthetic
+//! generator*: [`generate`] emits a connected sequential circuit with a
+//! requested number of primary inputs, primary outputs, flip-flops and gates,
+//! reproducibly from a seed. [`catalog`] lists specs whose interface
+//! parameters match the benchmark circuits of the paper's Tables 2.1, 2.2,
+//! 3.2 and 4.2, so the experiment harnesses can report rows under the
+//! familiar names.
+//!
+//! The stand-ins preserve what the evaluated algorithms are sensitive to —
+//! circuit size, sequential depth, fanout structure, reconvergence and
+//! random-pattern resistance — but they are **not** the original netlists;
+//! absolute coverage numbers therefore differ from the paper's (as the paper
+//! itself notes its numbers differ from other works after resynthesis).
+
+use crate::rng::Rng;
+use crate::{GateKind, Netlist, NetlistBuilder};
+
+/// Specification of a synthetic benchmark circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitSpec {
+    /// Circuit name (used as the row label in experiment tables).
+    pub name: String,
+    /// Number of primary inputs.
+    pub n_pi: usize,
+    /// Number of primary outputs.
+    pub n_po: usize,
+    /// Number of D flip-flops (state variables).
+    pub n_ff: usize,
+    /// Number of combinational gates.
+    pub n_gates: usize,
+    /// Number of *synchronizing* primary inputs: inputs gating flip-flop
+    /// updates through AND gates, so that one input value forces state
+    /// variables to a constant. These are the inputs the primary input cube
+    /// `C` (paper §4.3) marks as specified — the `Np` column of Table 4.2.
+    pub sync_inputs: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl CircuitSpec {
+    /// Create a spec. The seed defaults to a hash of the name so that each
+    /// named circuit is unique yet reproducible.
+    pub fn new(name: &str, n_pi: usize, n_po: usize, n_ff: usize, n_gates: usize) -> Self {
+        let seed = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            });
+        CircuitSpec {
+            name: name.to_string(),
+            n_pi,
+            n_po,
+            n_ff,
+            n_gates,
+            sync_inputs: 0,
+            seed,
+        }
+    }
+
+    /// Builder-style setter for the number of synchronizing inputs.
+    pub fn with_sync_inputs(mut self, n: usize) -> Self {
+        self.sync_inputs = n;
+        self
+    }
+
+    /// A proportionally smaller version of this spec (for fast experiment
+    /// runs), dividing flip-flop and gate counts by `div` with sane floors.
+    /// The name gains a `@div` suffix so scaled rows are distinguishable.
+    ///
+    /// Primary inputs and outputs scale by `√div` only: shrinking the
+    /// periphery as fast as the core would destroy controllability and
+    /// observability, making the scaled circuit qualitatively unlike its
+    /// full-size counterpart.
+    pub fn scaled(&self, div: usize) -> CircuitSpec {
+        assert!(div > 0, "div must be positive");
+        if div == 1 {
+            return self.clone();
+        }
+        let io_div = (div as f64).sqrt().round().max(1.0) as usize;
+        CircuitSpec {
+            name: format!("{}@{div}", self.name),
+            n_pi: (self.n_pi / io_div).max(4),
+            n_po: (self.n_po / io_div).max(2),
+            n_ff: (self.n_ff / div).max(3),
+            n_gates: (self.n_gates / div).max(16),
+            sync_inputs: if self.sync_inputs == 0 {
+                0
+            } else {
+                (self.sync_inputs / io_div).max(1)
+            },
+            seed: self.seed,
+        }
+    }
+}
+
+/// Generate the circuit described by `spec`.
+///
+/// The construction is staged so that the result is always a DAG through the
+/// combinational logic: gates only consume earlier-created signals. A
+/// "dangling first" policy when choosing flip-flop D inputs, primary-output
+/// drivers and late extra fanins keeps almost every gate observable, which is
+/// what gives the circuits realistic (non-trivial but high) fault coverage.
+///
+/// # Panics
+///
+/// Panics if `spec` has zero inputs+flip-flops or zero gates.
+pub fn generate(spec: &CircuitSpec) -> Netlist {
+    assert!(spec.n_pi + spec.n_ff > 0, "need at least one source");
+    assert!(spec.n_gates > 0, "need at least one gate");
+    let mut rng = Rng::new(spec.seed);
+
+    // Signal table: 0..n_pi are PIs, n_pi..n_pi+n_ff are FF outputs, then gates.
+    let n_sources = spec.n_pi + spec.n_ff;
+    let total = n_sources + spec.n_gates;
+    let mut kinds: Vec<GateKind> = Vec::with_capacity(total);
+    let mut fanins: Vec<Vec<usize>> = Vec::with_capacity(total);
+    for _ in 0..spec.n_pi {
+        kinds.push(GateKind::Input);
+        fanins.push(Vec::new());
+    }
+    for _ in 0..spec.n_ff {
+        kinds.push(GateKind::Dff);
+        fanins.push(Vec::new()); // D input filled in later
+    }
+
+    let mut consumers = vec![0usize; total];
+
+    // Weighted gate-kind palette roughly matching synthesized control plus
+    // datapath logic. XOR-class gates matter: they keep signal probabilities
+    // near 1/2 through deep logic (realistic switching activity) and carry
+    // no controlling value, so paths through them remain sensitizable.
+    const PALETTE: [(GateKind, usize); 8] = [
+        (GateKind::Nand, 20),
+        (GateKind::Nor, 12),
+        (GateKind::And, 13),
+        (GateKind::Or, 12),
+        (GateKind::Not, 8),
+        (GateKind::Xor, 16),
+        (GateKind::Xnor, 8),
+        (GateKind::Buf, 6),
+    ];
+    let palette_total: usize = PALETTE.iter().map(|&(_, w)| w).sum();
+    let pick_kind = |rng: &mut Rng| {
+        let mut roll = rng.below(palette_total);
+        for &(k, w) in &PALETTE {
+            if roll < w {
+                return k;
+            }
+            roll -= w;
+        }
+        GateKind::Nand
+    };
+
+    const WINDOW: usize = 64; // locality window for depth
+
+    // Some gate slots are reserved for flip-flop feedback XORs (below):
+    // real sequential circuits hold counters and accumulators whose state
+    // keeps evolving; without them a biased pseudo-random input sequence
+    // quickly parks the state at a fixed point.
+    // Each synchronizing input gates two flip-flops through dedicated AND
+    // gates; those flip-flops are reserved before feedback is assigned.
+    let n_sync = spec
+        .sync_inputs
+        .min(spec.n_pi)
+        .min(spec.n_ff / 2)
+        .min(spec.n_gates / 3);
+    let n_feedback = if spec.n_ff == 0 {
+        0
+    } else {
+        (spec.n_ff - 2 * n_sync).min((spec.n_gates / 6).max(1))
+    };
+    let n_plain_gates = spec.n_gates - n_feedback - 2 * n_sync;
+
+    for gi in 0..n_plain_gates {
+        let idx = n_sources + gi;
+        let kind = pick_kind(&mut rng);
+        let arity = match kind {
+            GateKind::Not | GateKind::Buf => 1,
+            GateKind::Xor | GateKind::Xnor => 2,
+            _ => 2 + rng.below(3), // 2..=4
+        };
+        let avail = idx; // signals 0..idx are available
+        let mut ins: Vec<usize> = Vec::with_capacity(arity);
+        let mut guard = 0;
+        while ins.len() < arity && guard < 200 {
+            guard += 1;
+            let cand = if rng.chance(2, 5) {
+                // Prefer a signal nobody consumes yet, to stay connected.
+                let start = rng.below(avail);
+                (0..avail)
+                    .map(|o| (start + o) % avail)
+                    .find(|&c| consumers[c] == 0)
+                    .unwrap_or_else(|| rng.below(avail))
+            } else if rng.chance(6, 10) && avail > WINDOW {
+                // Local choice for depth.
+                avail - 1 - rng.below(WINDOW)
+            } else {
+                rng.below(avail)
+            };
+            if !ins.contains(&cand) {
+                ins.push(cand);
+            }
+        }
+        while ins.len() < arity {
+            // Tiny circuits may not have enough distinct signals; allow any
+            // not-yet-used index deterministically.
+            let fallback = (0..avail).find(|c| !ins.contains(c));
+            match fallback {
+                Some(c) => ins.push(c),
+                None => break,
+            }
+        }
+        if ins.is_empty() {
+            ins.push(rng.below(avail));
+        }
+        for &i in &ins {
+            consumers[i] += 1;
+        }
+        let kind = match (kind, ins.len()) {
+            (GateKind::Not | GateKind::Buf, n) if n != 1 => GateKind::And,
+            (k, 1) if !k.is_unate_single() => GateKind::Buf,
+            (k, _) => k,
+        };
+        kinds.push(kind);
+        fanins.push(ins);
+    }
+
+    let mut dangling: Vec<usize> = (n_sources..n_sources + n_plain_gates)
+        .filter(|&i| consumers[i] == 0)
+        .collect();
+    rng.shuffle(&mut dangling);
+
+    // Feedback XOR gates: the first `n_feedback` flip-flops get
+    // `D = XOR(src, Q)` so the state keeps evolving under biased inputs.
+    for k in 0..n_feedback {
+        let ff_sig = spec.n_pi + k;
+        let mut src = dangling.pop().unwrap_or_else(|| {
+            if n_plain_gates > 0 {
+                n_sources + rng.below(n_plain_gates)
+            } else {
+                rng.below(n_sources)
+            }
+        });
+        if src == ff_sig {
+            src = rng.below(spec.n_pi.max(1));
+        }
+        let gidx = n_sources + n_plain_gates + k;
+        kinds.push(GateKind::Xor);
+        fanins.push(vec![src, ff_sig]);
+        consumers[src] += 1;
+        consumers[ff_sig] += 1;
+        fanins[ff_sig].push(gidx); // D input of the flip-flop
+        consumers[gidx] += 1;
+    }
+
+    // Remaining flip-flop D inputs: dangling gates first, then random gates.
+    for ff in n_feedback..spec.n_ff {
+        let d = dangling
+            .pop()
+            .unwrap_or_else(|| n_sources + rng.below(n_plain_gates.max(1)));
+        fanins[spec.n_pi + ff].push(d);
+        consumers[d] += 1;
+    }
+
+    // Synchronizing inputs: input k gates the D inputs of two non-feedback
+    // flip-flops through fresh AND gates, so pi_k = 0 forces both to 0 —
+    // the repeated-synchronization structure the cube biasing avoids.
+    for k in 0..n_sync {
+        for half in 0..2 {
+            let ff_sig = spec.n_pi + n_feedback + 2 * k + half;
+            let old_d = fanins[ff_sig][0];
+            let gidx = n_sources + n_plain_gates + n_feedback + 2 * k + half;
+            kinds.push(GateKind::And);
+            fanins.push(vec![old_d, k]); // pi_k is signal index k
+            consumers[k] += 1;
+            consumers[gidx] += 1;
+            // old_d keeps its consumer count (it now feeds the AND instead).
+            fanins[ff_sig][0] = gidx;
+        }
+    }
+
+    // Primary outputs: dangling first, then random gates (always gates, so
+    // output faults are meaningful).
+    let mut po_drivers: Vec<usize> = Vec::with_capacity(spec.n_po);
+    for _ in 0..spec.n_po {
+        let d = dangling
+            .pop()
+            .unwrap_or_else(|| n_sources + rng.below(spec.n_gates));
+        po_drivers.push(d);
+        consumers[d] += 1;
+    }
+
+    // Any remaining dangling gate becomes an extra fanin of a *later* AND/OR
+    // family gate (keeps the DAG property) so nearly everything is observable.
+    for d in dangling {
+        let later: Vec<usize> = ((d + 1)..total)
+            .filter(|&g| {
+                matches!(
+                    kinds[g],
+                    GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor
+                ) && fanins[g].len() < 5
+                    && !fanins[g].contains(&d)
+            })
+            .collect();
+        if let Some(&g) = later.first() {
+            fanins[g].push(d);
+            consumers[d] += 1;
+        } else if let Some(&last_po) = po_drivers.first() {
+            // Give up and alias it onto an output position.
+            let _ = last_po;
+            po_drivers.push(d);
+            consumers[d] += 1;
+        }
+    }
+
+    // Materialise through the builder.
+    let sig_name = |i: usize| -> String {
+        if i < spec.n_pi {
+            format!("pi{i}")
+        } else if i < n_sources {
+            format!("ff{}", i - spec.n_pi)
+        } else {
+            format!("g{}", i - n_sources)
+        }
+    };
+    let mut b = NetlistBuilder::new(&spec.name);
+    for i in 0..spec.n_pi {
+        b.input(&sig_name(i)).expect("unique PI names");
+    }
+    for ff in 0..spec.n_ff {
+        let q = sig_name(spec.n_pi + ff);
+        let d = sig_name(fanins[spec.n_pi + ff][0]);
+        b.dff(&q, &d).expect("unique FF names");
+    }
+    for gi in 0..spec.n_gates {
+        let idx = n_sources + gi;
+        let name = sig_name(idx);
+        let args: Vec<String> = fanins[idx].iter().map(|&f| sig_name(f)).collect();
+        let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        b.gate(kinds[idx], &name, &arg_refs).expect("unique gate names");
+    }
+    for &d in po_drivers.iter().take(spec.n_po) {
+        b.output(&sig_name(d)).expect("output declaration");
+    }
+    b.finish().expect("generated circuit is structurally valid")
+}
+
+/// Specs matching the interface parameters of the ISCAS89 circuits used in
+/// Table 2.1 (small circuits, full path enumeration).
+pub fn iscas_small() -> Vec<CircuitSpec> {
+    [
+        ("s298", 3, 6, 14, 119),
+        ("s344", 9, 11, 15, 160),
+        ("s349", 9, 11, 15, 161),
+        ("s382", 3, 6, 21, 158),
+        ("s386", 7, 7, 6, 159),
+        ("s444", 3, 6, 21, 181),
+        ("s510", 19, 7, 6, 211),
+        ("s526", 3, 6, 21, 193),
+        ("s641", 35, 24, 19, 379),
+        ("s713", 35, 23, 19, 393),
+        ("s820", 18, 19, 5, 289),
+        ("s832", 18, 19, 5, 287),
+        ("s953", 16, 23, 29, 395),
+        ("s1196", 14, 14, 18, 529),
+        ("s1238", 14, 14, 18, 508),
+        ("s1488", 8, 19, 6, 653),
+        ("s1494", 8, 19, 6, 647),
+    ]
+    .iter()
+    .map(|&(n, pi, po, ff, g)| CircuitSpec::new(n, pi, po, ff, g))
+    .collect()
+}
+
+/// Specs matching the larger ISCAS89 circuits of Table 2.2 / Table 3.2.
+pub fn iscas_large() -> Vec<CircuitSpec> {
+    [
+        ("s1423", 17, 5, 74, 657, 0),
+        ("s5378", 35, 49, 179, 2779, 0),
+        ("s9234", 36, 39, 211, 5597, 0),
+        ("s13207", 62, 152, 638, 7951, 0),
+        // The Np column of Table 4.2: synchronizing inputs detected by the
+        // primary-input-cube computation on the original netlists.
+        ("s35932", 35, 320, 1728, 16065, 1),
+        ("s38417", 28, 106, 1636, 22179, 0),
+        ("s38584", 38, 304, 1426, 19253, 2),
+    ]
+    .iter()
+    .map(|&(n, pi, po, ff, g, sy)| CircuitSpec::new(n, pi, po, ff, g).with_sync_inputs(sy))
+    .collect()
+}
+
+/// Specs matching the ITC99 circuits used in Tables 3.2–3.5 and 4.2.
+pub fn itc99() -> Vec<CircuitSpec> {
+    [
+        ("b11", 7, 6, 31, 510),
+        ("b12", 5, 6, 121, 1000),
+        ("b14", 32, 54, 215, 5401),
+        ("b20", 32, 22, 430, 11000),
+    ]
+    .iter()
+    .map(|&(n, pi, po, ff, g)| CircuitSpec::new(n, pi, po, ff, g))
+    .collect()
+}
+
+/// Specs matching the IWLS2005 circuits of Table 4.2 (NPO, NPI, NSV taken
+/// from the paper; gate counts approximate the published synthesis results).
+pub fn iwls2005() -> Vec<CircuitSpec> {
+    [
+        // (name, NPI, NPO, NSV, gates, Np) with Np from Table 4.2.
+        ("spi", 45, 45, 229, 3200, 3),
+        ("wb_dma", 215, 215, 523, 3500, 17),
+        ("systemcaes", 258, 129, 670, 7500, 1),
+        ("systemcdes", 130, 65, 190, 3000, 1),
+        ("des_area", 239, 64, 128, 4800, 0),
+        ("aes_core", 258, 129, 530, 20000, 2),
+        ("wb_conmax", 1128, 1416, 770, 29000, 8),
+        ("des_perf", 233, 64, 8808, 49000, 0),
+    ]
+    .iter()
+    .map(|&(n, pi, po, ff, g, sy)| CircuitSpec::new(n, pi, po, ff, g).with_sync_inputs(sy))
+    .collect()
+}
+
+/// The full catalog (all suites).
+pub fn catalog() -> Vec<CircuitSpec> {
+    let mut all = iscas_small();
+    all.extend(iscas_large());
+    all.extend(itc99());
+    all.extend(iwls2005());
+    all
+}
+
+/// Find a catalog entry by name.
+pub fn find(name: &str) -> Option<CircuitSpec> {
+    catalog().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_matches_spec() {
+        for spec in iscas_small() {
+            let n = generate(&spec);
+            assert_eq!(n.num_inputs(), spec.n_pi, "{}", spec.name);
+            assert_eq!(n.num_dffs(), spec.n_ff, "{}", spec.name);
+            assert!(n.num_outputs() >= spec.n_po, "{}", spec.name);
+            assert_eq!(n.num_gates(), spec.n_gates, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = find("s298").unwrap();
+        let a = crate::bench::write(&generate(&spec));
+        let b = crate::bench::write(&generate(&spec));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let a = crate::bench::write(&generate(&find("s344").unwrap()));
+        let b = crate::bench::write(&generate(&find("s349").unwrap()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nearly_everything_is_observable() {
+        // The dangling-first policy should leave only a tiny unobservable tail.
+        let spec = find("s953").unwrap();
+        let n = generate(&spec);
+        let dangling = n
+            .node_ids()
+            .filter(|&id| {
+                n.node(id).fanouts().is_empty() && !n.is_po_driver(id)
+            })
+            .count();
+        assert!(
+            dangling * 50 <= n.num_nodes(),
+            "at most 2% dangling, got {dangling}/{}",
+            n.num_nodes()
+        );
+    }
+
+    #[test]
+    fn circuits_have_depth() {
+        let spec = find("s1196").unwrap();
+        let n = generate(&spec);
+        assert!(n.depth() >= 6, "depth {} too shallow to be interesting", n.depth());
+    }
+
+    #[test]
+    fn scaled_reduces_size() {
+        let spec = find("s35932").unwrap().scaled(8);
+        assert_eq!(spec.name, "s35932@8");
+        assert_eq!(spec.n_ff, 1728 / 8);
+        let n = generate(&spec);
+        assert_eq!(n.num_dffs(), 216);
+    }
+
+    #[test]
+    fn catalog_names_unique() {
+        let cat = catalog();
+        let mut names: Vec<&str> = cat.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len());
+    }
+
+    #[test]
+    fn roundtrips_through_bench_format() {
+        let spec = find("s386").unwrap();
+        let n = generate(&spec);
+        let text = crate::bench::write(&n);
+        let m = crate::bench::parse(&text, &spec.name).unwrap();
+        assert_eq!(m.num_nodes(), n.num_nodes());
+    }
+}

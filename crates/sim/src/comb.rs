@@ -1,0 +1,215 @@
+//! Combinational evaluation (scalar and 64-way bit-parallel).
+
+use fbt_netlist::{GateKind, Netlist, NodeId};
+
+/// Evaluate one gate over packed 64-pattern words.
+#[inline]
+fn eval_gate_packed(kind: GateKind, fanins: &[NodeId], vals: &[u64]) -> u64 {
+    let mut it = fanins.iter().map(|f| vals[f.index()]);
+    match kind {
+        GateKind::And => it.fold(!0u64, |a, v| a & v),
+        GateKind::Nand => !it.fold(!0u64, |a, v| a & v),
+        GateKind::Or => it.fold(0u64, |a, v| a | v),
+        GateKind::Nor => !it.fold(0u64, |a, v| a | v),
+        GateKind::Xor => it.fold(0u64, |a, v| a ^ v),
+        GateKind::Xnor => !it.fold(0u64, |a, v| a ^ v),
+        GateKind::Not => !it.next().expect("NOT has a fanin"),
+        GateKind::Buf => it.next().expect("BUF has a fanin"),
+        GateKind::Input | GateKind::Dff => unreachable!("sources are not evaluated"),
+    }
+}
+
+/// Evaluate the combinational logic with sources already written into `vals`.
+///
+/// `vals` is indexed by node id; each word carries 64 independent patterns.
+/// Primary-input and flip-flop entries must be pre-filled by the caller; all
+/// gate entries are overwritten in topological order.
+///
+/// # Panics
+///
+/// Panics if `vals.len() != net.num_nodes()`.
+pub fn eval_packed(net: &Netlist, vals: &mut [u64]) {
+    assert_eq!(vals.len(), net.num_nodes(), "value buffer size mismatch");
+    for &id in net.eval_order() {
+        let node = net.node(id);
+        vals[id.index()] = eval_gate_packed(node.kind(), node.fanins(), vals);
+    }
+}
+
+/// Re-evaluate only the gates in `cone` (a topologically ordered node list,
+/// e.g. from [`fbt_netlist::Netlist::fanout_cone`]). Entries outside the cone
+/// are untouched; source entries inside the cone are left as-is.
+pub fn eval_packed_cone(net: &Netlist, cone: &[NodeId], vals: &mut [u64]) {
+    for &id in cone {
+        let node = net.node(id);
+        if node.kind().is_source() {
+            continue;
+        }
+        vals[id.index()] = eval_gate_packed(node.kind(), node.fanins(), vals);
+    }
+}
+
+/// Scalar (single-pattern) evaluation over `bool`s; sources pre-filled.
+///
+/// # Panics
+///
+/// Panics if `vals.len() != net.num_nodes()`.
+pub fn eval_scalar(net: &Netlist, vals: &mut [bool]) {
+    assert_eq!(vals.len(), net.num_nodes(), "value buffer size mismatch");
+    for &id in net.eval_order() {
+        let node = net.node(id);
+        let v = match node.kind() {
+            GateKind::And => node.fanins().iter().all(|f| vals[f.index()]),
+            GateKind::Nand => !node.fanins().iter().all(|f| vals[f.index()]),
+            GateKind::Or => node.fanins().iter().any(|f| vals[f.index()]),
+            GateKind::Nor => !node.fanins().iter().any(|f| vals[f.index()]),
+            GateKind::Xor => node.fanins().iter().fold(false, |a, f| a ^ vals[f.index()]),
+            GateKind::Xnor => !node.fanins().iter().fold(false, |a, f| a ^ vals[f.index()]),
+            GateKind::Not => !vals[node.fanins()[0].index()],
+            GateKind::Buf => vals[node.fanins()[0].index()],
+            GateKind::Input | GateKind::Dff => continue,
+        };
+        vals[id.index()] = v;
+    }
+}
+
+/// Write primary-input words and present-state words into a packed value
+/// buffer (convenience for fault simulation set-up).
+pub fn load_sources_packed(net: &Netlist, pi: &[u64], state: &[u64], vals: &mut [u64]) {
+    assert_eq!(pi.len(), net.num_inputs(), "PI word count mismatch");
+    assert_eq!(state.len(), net.num_dffs(), "state word count mismatch");
+    for (w, &id) in pi.iter().zip(net.inputs()) {
+        vals[id.index()] = *w;
+    }
+    for (w, &id) in state.iter().zip(net.dffs()) {
+        vals[id.index()] = *w;
+    }
+}
+
+/// Extract the next-state words (the values at each flip-flop's D input)
+/// from an evaluated packed buffer.
+pub fn next_state_packed(net: &Netlist, vals: &[u64]) -> Vec<u64> {
+    net.dffs()
+        .iter()
+        .map(|&d| vals[net.node(d).fanins()[0].index()])
+        .collect()
+}
+
+/// Extract the primary-output words from an evaluated packed buffer.
+pub fn outputs_packed(net: &Netlist, vals: &[u64]) -> Vec<u64> {
+    net.outputs().iter().map(|&o| vals[o.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::s27;
+
+    fn scalar_vals(net: &Netlist, pi: &[bool], state: &[bool]) -> Vec<bool> {
+        let mut vals = vec![false; net.num_nodes()];
+        for (v, &id) in pi.iter().zip(net.inputs()) {
+            vals[id.index()] = *v;
+        }
+        for (v, &id) in state.iter().zip(net.dffs()) {
+            vals[id.index()] = *v;
+        }
+        eval_scalar(net, &mut vals);
+        vals
+    }
+
+    #[test]
+    fn s27_known_vector() {
+        // All inputs 0, all state 0:
+        // G14=NOT(G0)=1, G12=NOR(G1,G7)=1, G13=NAND(G2,G12)=1, G8=AND(G14,G6)=0,
+        // G15=OR(G12,G8)=1, G16=OR(G3,G8)=0, G9=NAND(G16,G15)=1,
+        // G10=NOR(G14,G11), G11=NOR(G5,G9)=NOR(0,1)=0 -> G10=NOR(1,0)=0, G17=NOT(G11)=1.
+        let net = s27();
+        let vals = scalar_vals(&net, &[false; 4], &[false; 3]);
+        let v = |name: &str| vals[net.find(name).unwrap().index()];
+        assert!(v("G14"));
+        assert!(v("G12"));
+        assert!(v("G13"));
+        assert!(!v("G8"));
+        assert!(v("G15"));
+        assert!(!v("G16"));
+        assert!(v("G9"));
+        assert!(!v("G11"));
+        assert!(!v("G10"));
+        assert!(v("G17"));
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_all_s27_source_combinations() {
+        let net = s27();
+        // 4 PIs + 3 FFs = 7 source bits -> 128 combinations; two words of 64.
+        for word in 0..2u64 {
+            let mut pi = vec![0u64; 4];
+            let mut st = vec![0u64; 3];
+            for pat in 0..64u64 {
+                let combo = word * 64 + pat;
+                for (b, w) in pi.iter_mut().enumerate() {
+                    if (combo >> b) & 1 == 1 {
+                        *w |= 1 << pat;
+                    }
+                }
+                for (b, w) in st.iter_mut().enumerate() {
+                    if (combo >> (4 + b)) & 1 == 1 {
+                        *w |= 1 << pat;
+                    }
+                }
+            }
+            let mut vals = vec![0u64; net.num_nodes()];
+            load_sources_packed(&net, &pi, &st, &mut vals);
+            eval_packed(&net, &mut vals);
+            for pat in 0..64u64 {
+                let combo = word * 64 + pat;
+                let pib: Vec<bool> = (0..4).map(|b| (combo >> b) & 1 == 1).collect();
+                let stb: Vec<bool> = (0..3).map(|b| (combo >> (4 + b)) & 1 == 1).collect();
+                let sv = scalar_vals(&net, &pib, &stb);
+                for id in net.node_ids() {
+                    let packed_bit = (vals[id.index()] >> pat) & 1 == 1;
+                    assert_eq!(
+                        packed_bit,
+                        sv[id.index()],
+                        "node {} combo {combo}",
+                        net.node_name(id)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cone_evaluation_matches_full() {
+        let net = s27();
+        let mut vals = vec![0u64; net.num_nodes()];
+        load_sources_packed(&net, &[!0, 0, !0, 0], &[0, !0, 0], &mut vals);
+        eval_packed(&net, &mut vals);
+        // Flip G0 and re-evaluate only its cone.
+        let g0 = net.find("G0").unwrap();
+        let mut cone_vals = vals.clone();
+        cone_vals[g0.index()] = 0;
+        let cone = net.fanout_cone(g0);
+        eval_packed_cone(&net, &cone, &mut cone_vals);
+        // Reference: full re-evaluation.
+        let mut full = vals.clone();
+        full[g0.index()] = 0;
+        eval_packed(&net, &mut full);
+        assert_eq!(cone_vals, full);
+    }
+
+    #[test]
+    fn next_state_reads_d_inputs() {
+        let net = s27();
+        let mut vals = vec![0u64; net.num_nodes()];
+        load_sources_packed(&net, &[0; 4], &[0; 3], &mut vals);
+        eval_packed(&net, &mut vals);
+        let ns = next_state_packed(&net, &vals);
+        // From s27_known_vector: G10=0, G11=0, G13=1.
+        assert_eq!(ns[0] & 1, 0);
+        assert_eq!(ns[1] & 1, 0);
+        assert_eq!(ns[2] & 1, 1);
+        let po = outputs_packed(&net, &vals);
+        assert_eq!(po[0] & 1, 1); // G17 = 1
+    }
+}

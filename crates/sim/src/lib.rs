@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Logic simulation for gate-level sequential netlists.
+//!
+//! Three simulation flavours, each matched to a consumer in the workspace:
+//!
+//! * **Scalar two-valued** ([`comb::eval_scalar`], [`seq::SeqSim`]) — one
+//!   pattern at a time, used by the sequential trajectory simulation that
+//!   drives built-in test generation (Chapter 4 of the paper) and by the
+//!   switching-activity monitor ([`activity`]).
+//! * **Bit-parallel two-valued** ([`comb::eval_packed`]) — 64 patterns per
+//!   machine word, the throughput kernel behind broadside fault simulation.
+//! * **Scalar three-valued** ([`tv`]) — 0/1/X simulation used for primary
+//!   input cube computation, necessary assignments and case analysis.
+//!
+//! [`Bits`] is the packed bitvector used for states, input vectors and
+//! responses throughout the workspace.
+
+pub mod activity;
+mod bits;
+pub mod comb;
+pub mod event;
+pub mod reset;
+pub mod seq;
+pub mod tv;
+
+pub use bits::Bits;
+pub use tv::Trit;

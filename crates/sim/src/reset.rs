@@ -1,0 +1,158 @@
+//! Initialization (reset) analysis with three-valued sequential simulation.
+//!
+//! The paper assumes every benchmark circuit "can be initialized into the
+//! all-0 state … by shifting in the all-0 state or asserting a global reset"
+//! (§4.6). This module makes the weaker, synthesis-free part of that
+//! assumption checkable: starting from the fully unknown state, how many
+//! state variables does a given input sequence *synchronize* (force to a
+//! known value regardless of the power-up state)?
+
+use fbt_netlist::Netlist;
+
+use crate::tv;
+use crate::{Bits, Trit};
+
+/// The result of simulating an input sequence from the all-X state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitializationOutcome {
+    /// The (possibly partial) state after the sequence.
+    pub state: Vec<Trit>,
+    /// How many state variables are synchronized (specified).
+    pub synchronized: usize,
+}
+
+impl InitializationOutcome {
+    /// Whether the whole state is known.
+    pub fn fully_initialized(&self) -> bool {
+        self.synchronized == self.state.len()
+    }
+}
+
+/// Simulate `inputs` three-valuedly from the all-X state.
+///
+/// # Panics
+///
+/// Panics on input-width mismatches.
+pub fn initialize(net: &Netlist, inputs: &[Bits]) -> InitializationOutcome {
+    let mut state = vec![Trit::X; net.num_dffs()];
+    for pi in inputs {
+        assert_eq!(pi.len(), net.num_inputs(), "PI width mismatch");
+        let pi_t: Vec<Trit> = pi.iter().map(Trit::from_bool).collect();
+        let (_, next) = tv::simulate_frame_tv(net, &pi_t, &state);
+        state = next;
+    }
+    let synchronized = state.iter().filter(|t| t.is_specified()).count();
+    InitializationOutcome {
+        state,
+        synchronized,
+    }
+}
+
+/// Greedy search for a synchronizing sequence of at most `max_len` vectors:
+/// at each step, pick the constant input vector (over a candidate set of the
+/// all-0, all-1 and per-bit one-hot vectors) that synchronizes the most
+/// state variables.
+///
+/// Returns the chosen sequence and its outcome. Not finding a full
+/// synchronizing sequence does **not** prove none exists (the problem is
+/// PSPACE-hard in general); the paper's circuits resolve it with a reset
+/// pin, which our synthetic catalog mirrors by construction of the
+/// assumed-reachable all-0 state.
+pub fn greedy_synchronizing_sequence(
+    net: &Netlist,
+    max_len: usize,
+) -> (Vec<Bits>, InitializationOutcome) {
+    let n_pi = net.num_inputs();
+    let mut candidates: Vec<Bits> = vec![Bits::zeros(n_pi), (0..n_pi).map(|_| true).collect()];
+    for i in 0..n_pi.min(16) {
+        let mut v = Bits::zeros(n_pi);
+        v.set(i, true);
+        candidates.push(v);
+    }
+    let mut seq: Vec<Bits> = Vec::new();
+    let mut best_outcome = initialize(net, &seq);
+    for _ in 0..max_len {
+        let mut improved = false;
+        let mut best_vec = None;
+        for c in &candidates {
+            let mut trial = seq.clone();
+            trial.push(c.clone());
+            let outcome = initialize(net, &trial);
+            if outcome.synchronized > best_outcome.synchronized {
+                best_outcome = outcome;
+                best_vec = Some(c.clone());
+                improved = true;
+            }
+        }
+        match best_vec {
+            Some(v) => seq.push(v),
+            None => break,
+        }
+        if best_outcome.fully_initialized() || !improved {
+            break;
+        }
+    }
+    (seq, best_outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn and_gated_flip_flop_synchronizes_on_zero() {
+        // q = DFF(AND(q, en)): en = 0 forces q to 0 in one cycle.
+        let mut b = NetlistBuilder::new("sync1");
+        b.input("en").unwrap();
+        b.dff("q", "d").unwrap();
+        b.gate(GateKind::And, "d", &["q", "en"]).unwrap();
+        b.output("q").unwrap();
+        let net = b.finish().unwrap();
+        let out = initialize(&net, &[Bits::from_str01("0")]);
+        assert!(out.fully_initialized());
+        assert_eq!(out.state[0], Trit::Zero);
+        // en = 1 keeps it unknown.
+        let out = initialize(&net, &[Bits::from_str01("1")]);
+        assert_eq!(out.synchronized, 0);
+    }
+
+    #[test]
+    fn xor_feedback_never_synchronizes() {
+        // q = DFF(XOR(q, a)): no input value resolves X.
+        let mut b = NetlistBuilder::new("toggle");
+        b.input("a").unwrap();
+        b.dff("q", "d").unwrap();
+        b.gate(GateKind::Xor, "d", &["q", "a"]).unwrap();
+        b.output("q").unwrap();
+        let net = b.finish().unwrap();
+        let (_, out) = greedy_synchronizing_sequence(&net, 8);
+        assert_eq!(out.synchronized, 0, "a toggle flip-flop needs a reset pin");
+    }
+
+    #[test]
+    fn s27_synchronizes_greedily() {
+        // The genuine s27 is fully initializable from the unknown state.
+        let net = fbt_netlist::s27();
+        let (seq, out) = greedy_synchronizing_sequence(&net, 8);
+        assert!(out.fully_initialized(), "synchronized {}", out.synchronized);
+        assert!(!seq.is_empty());
+        // Replaying the returned sequence reproduces the outcome.
+        assert_eq!(initialize(&net, &seq), out);
+    }
+
+    #[test]
+    fn synchronization_is_monotone_in_prefix_extension() {
+        // Extending the greedy sequence never loses synchronized variables
+        // under the same greedy choices (follows from 3-valued monotonicity
+        // per step; checked empirically here).
+        let net = fbt_netlist::s27();
+        let (seq, _) = greedy_synchronizing_sequence(&net, 8);
+        let mut prev = 0usize;
+        for k in 1..=seq.len() {
+            let out = initialize(&net, &seq[..k]);
+            assert!(out.synchronized >= prev);
+            prev = out.synchronized;
+        }
+    }
+}

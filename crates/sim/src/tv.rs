@@ -1,0 +1,279 @@
+//! Three-valued (0 / 1 / X) logic and scalar simulation.
+//!
+//! Used where unspecified values matter: primary-input cube computation
+//! (paper §4.3), necessary assignments (§2.3.2, §3.2) and case analysis
+//! (§3.3.1).
+
+use fbt_netlist::{GateKind, Netlist};
+
+/// A three-valued logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Trit {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / unspecified.
+    #[default]
+    X,
+}
+
+impl Trit {
+    /// Construct from a boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> Trit {
+        if b {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// The binary value, if specified.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::X => None,
+        }
+    }
+
+    /// Whether the value is specified (not X).
+    #[inline]
+    pub fn is_specified(self) -> bool {
+        self != Trit::X
+    }
+
+    /// Three-valued negation.
+    ///
+    /// Deliberately an inherent method (not `std::ops::Not`): `!trit` on a
+    /// three-valued logic type reads ambiguously at call sites.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn not(self) -> Trit {
+        match self {
+            Trit::Zero => Trit::One,
+            Trit::One => Trit::Zero,
+            Trit::X => Trit::X,
+        }
+    }
+
+    /// Whether `self` is consistent with (refines or equals) `other`:
+    /// `X` is consistent with anything; specified values must match.
+    #[inline]
+    pub fn compatible(self, other: Trit) -> bool {
+        self == Trit::X || other == Trit::X || self == other
+    }
+}
+
+/// Evaluate a gate kind over three-valued fanins.
+///
+/// Controlling values dominate X: e.g. `AND(0, X) = 0`, `AND(1, X) = X`.
+///
+/// # Panics
+///
+/// Panics for source kinds.
+pub fn eval_gate_tv(kind: GateKind, fanins: impl Iterator<Item = Trit>) -> Trit {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let mut any_x = false;
+            let mut any_zero = false;
+            for v in fanins {
+                match v {
+                    Trit::Zero => any_zero = true,
+                    Trit::X => any_x = true,
+                    Trit::One => {}
+                }
+            }
+            let out = if any_zero {
+                Trit::Zero
+            } else if any_x {
+                Trit::X
+            } else {
+                Trit::One
+            };
+            if kind == GateKind::Nand {
+                out.not()
+            } else {
+                out
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut any_x = false;
+            let mut any_one = false;
+            for v in fanins {
+                match v {
+                    Trit::One => any_one = true,
+                    Trit::X => any_x = true,
+                    Trit::Zero => {}
+                }
+            }
+            let out = if any_one {
+                Trit::One
+            } else if any_x {
+                Trit::X
+            } else {
+                Trit::Zero
+            };
+            if kind == GateKind::Nor {
+                out.not()
+            } else {
+                out
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = Trit::Zero;
+            for v in fanins {
+                acc = match (acc, v) {
+                    (Trit::X, _) | (_, Trit::X) => Trit::X,
+                    (a, b) => Trit::from_bool(a.to_bool().unwrap() ^ b.to_bool().unwrap()),
+                };
+                if acc == Trit::X {
+                    return Trit::X; // X is absorbing for XOR chains
+                }
+            }
+            if kind == GateKind::Xnor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Not => fanins.into_iter().next().expect("NOT fanin").not(),
+        GateKind::Buf => fanins.into_iter().next().expect("BUF fanin"),
+        GateKind::Input | GateKind::Dff => unreachable!("sources are not evaluated"),
+    }
+}
+
+/// Scalar three-valued evaluation of the combinational logic; sources
+/// pre-filled in `vals`.
+///
+/// # Panics
+///
+/// Panics if `vals.len() != net.num_nodes()`.
+pub fn eval_tv(net: &Netlist, vals: &mut [Trit]) {
+    assert_eq!(vals.len(), net.num_nodes(), "value buffer size mismatch");
+    for &id in net.eval_order() {
+        let node = net.node(id);
+        vals[id.index()] = eval_gate_tv(
+            node.kind(),
+            node.fanins().iter().map(|f| vals[f.index()]),
+        );
+    }
+}
+
+/// Fully three-valued one-frame simulation: apply `pi` (possibly partial)
+/// with present state `state` (possibly partial); return the value of every
+/// node plus the next-state trits.
+///
+/// # Panics
+///
+/// Panics on width mismatches.
+pub fn simulate_frame_tv(net: &Netlist, pi: &[Trit], state: &[Trit]) -> (Vec<Trit>, Vec<Trit>) {
+    assert_eq!(pi.len(), net.num_inputs(), "PI width mismatch");
+    assert_eq!(state.len(), net.num_dffs(), "state width mismatch");
+    let mut vals = vec![Trit::X; net.num_nodes()];
+    for (v, &id) in pi.iter().zip(net.inputs()) {
+        vals[id.index()] = *v;
+    }
+    for (v, &id) in state.iter().zip(net.dffs()) {
+        vals[id.index()] = *v;
+    }
+    eval_tv(net, &mut vals);
+    let next: Vec<Trit> = net
+        .dffs()
+        .iter()
+        .map(|&d| vals[net.node(d).fanins()[0].index()])
+        .collect();
+    (vals, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::s27;
+
+    #[test]
+    fn controlling_values_dominate_x() {
+        use GateKind::*;
+        assert_eq!(eval_gate_tv(And, [Trit::Zero, Trit::X].into_iter()), Trit::Zero);
+        assert_eq!(eval_gate_tv(And, [Trit::One, Trit::X].into_iter()), Trit::X);
+        assert_eq!(eval_gate_tv(Nand, [Trit::Zero, Trit::X].into_iter()), Trit::One);
+        assert_eq!(eval_gate_tv(Or, [Trit::One, Trit::X].into_iter()), Trit::One);
+        assert_eq!(eval_gate_tv(Nor, [Trit::One, Trit::X].into_iter()), Trit::Zero);
+        assert_eq!(eval_gate_tv(Xor, [Trit::One, Trit::X].into_iter()), Trit::X);
+        assert_eq!(eval_gate_tv(Not, [Trit::X].into_iter()), Trit::X);
+    }
+
+    #[test]
+    fn tv_refines_to_binary_sim() {
+        // With fully specified sources, 3-valued simulation must equal
+        // 2-valued simulation on every node.
+        let net = s27();
+        for combo in 0..128u32 {
+            let pi_b: Vec<bool> = (0..4).map(|b| (combo >> b) & 1 == 1).collect();
+            let st_b: Vec<bool> = (0..3).map(|b| (combo >> (4 + b)) & 1 == 1).collect();
+            let pi_t: Vec<Trit> = pi_b.iter().map(|&b| Trit::from_bool(b)).collect();
+            let st_t: Vec<Trit> = st_b.iter().map(|&b| Trit::from_bool(b)).collect();
+            let (tvals, _) = simulate_frame_tv(&net, &pi_t, &st_t);
+
+            let mut bvals = vec![false; net.num_nodes()];
+            for (v, &id) in pi_b.iter().zip(net.inputs()) {
+                bvals[id.index()] = *v;
+            }
+            for (v, &id) in st_b.iter().zip(net.dffs()) {
+                bvals[id.index()] = *v;
+            }
+            crate::comb::eval_scalar(&net, &mut bvals);
+            for id in net.node_ids() {
+                assert_eq!(
+                    tvals[id.index()],
+                    Trit::from_bool(bvals[id.index()]),
+                    "node {} combo {combo}",
+                    net.node_name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x_monotonicity_on_s27() {
+        // Replacing any single specified source with X never produces a
+        // conflicting specified value: if the X-run says 1/0, the fully
+        // specified run must agree.
+        let net = s27();
+        for combo in 0..128u32 {
+            let pi_b: Vec<Trit> = (0..4)
+                .map(|b| Trit::from_bool((combo >> b) & 1 == 1))
+                .collect();
+            let st_b: Vec<Trit> = (0..3)
+                .map(|b| Trit::from_bool((combo >> (4 + b)) & 1 == 1))
+                .collect();
+            let (full, _) = simulate_frame_tv(&net, &pi_b, &st_b);
+            for xed in 0..7 {
+                let mut pi = pi_b.clone();
+                let mut st = st_b.clone();
+                if xed < 4 {
+                    pi[xed] = Trit::X;
+                } else {
+                    st[xed - 4] = Trit::X;
+                }
+                let (partial, _) = simulate_frame_tv(&net, &pi, &st);
+                for id in net.node_ids() {
+                    let p = partial[id.index()];
+                    if p.is_specified() {
+                        assert_eq!(p, full[id.index()], "X-monotonicity at {}", net.node_name(id));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility() {
+        assert!(Trit::X.compatible(Trit::One));
+        assert!(Trit::Zero.compatible(Trit::X));
+        assert!(Trit::One.compatible(Trit::One));
+        assert!(!Trit::One.compatible(Trit::Zero));
+    }
+}

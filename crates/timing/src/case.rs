@@ -1,0 +1,200 @@
+//! Case analysis: feeding input necessary assignments back into STA
+//! (paper §3.3.1, the `set_case_analysis` mechanism).
+//!
+//! The input necessary assignments of a path delay fault fix input values
+//! under one or both patterns of the test. Propagating them through the
+//! two-frame implication engine yields, for every line, its (possibly
+//! partial) value under each pattern — from which the set of transitions the
+//! line can still exhibit follows:
+//!
+//! * both patterns equal and specified → the line is **stable** (a case
+//!   constant): no transition, all timing arcs through it die;
+//! * `0 → 1` → only a **rising** transition; `1 → 0` → only **falling**;
+//! * anything involving X → a direction is allowed iff it is consistent
+//!   with the specified end.
+
+use fbt_atpg::implic::Implicator;
+use fbt_atpg::necessary::VarAssign;
+use fbt_atpg::{var_of, Frame, TestCube};
+use fbt_fault::Transition;
+use fbt_netlist::{Netlist, NodeId};
+use fbt_sim::Trit;
+
+use crate::sta::TimingConstraint;
+
+/// A per-line transition-direction constraint derived from assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseAnalysis {
+    /// `allowed[node][0]` = rising permitted, `[1]` = falling permitted.
+    allowed: Vec<[bool; 2]>,
+}
+
+impl CaseAnalysis {
+    /// Derive the constraint from variable assignments (typically the input
+    /// necessary assignments of a fault). Returns `None` when the
+    /// assignments are self-contradictory.
+    pub fn from_assignments(net: &Netlist, assigns: &[VarAssign]) -> Option<CaseAnalysis> {
+        let mut imp = Implicator::new(net);
+        for &(var, val) in assigns {
+            if imp.assign(var, val).is_err() {
+                return None;
+            }
+        }
+        let n = net.num_nodes();
+        let allowed = net
+            .node_ids()
+            .map(|id| {
+                let v1 = imp.value(var_of(n, Frame::First, id));
+                let v2 = imp.value(var_of(n, Frame::Second, id));
+                let rise = v1 != Trit::One && v2 != Trit::Zero;
+                let fall = v1 != Trit::Zero && v2 != Trit::One;
+                [rise, fall]
+            })
+            .collect();
+        Some(CaseAnalysis { allowed })
+    }
+
+    /// Derive the constraint from a (possibly partial) broadside test cube.
+    pub fn from_cube(net: &Netlist, cube: &TestCube) -> Option<CaseAnalysis> {
+        let n = net.num_nodes();
+        let mut assigns: Vec<VarAssign> = Vec::new();
+        for (i, &pi) in net.inputs().iter().enumerate() {
+            if let Some(v) = cube.v1[i].to_bool() {
+                assigns.push((var_of(n, Frame::First, pi), v));
+            }
+            if let Some(v) = cube.v2[i].to_bool() {
+                assigns.push((var_of(n, Frame::Second, pi), v));
+            }
+        }
+        for (i, &ff) in net.dffs().iter().enumerate() {
+            if let Some(v) = cube.s1[i].to_bool() {
+                assigns.push((var_of(n, Frame::First, ff), v));
+            }
+        }
+        CaseAnalysis::from_assignments(net, &assigns)
+    }
+
+    /// Number of fully stable lines (case constants).
+    pub fn stable_lines(&self) -> usize {
+        self.allowed.iter().filter(|a| !a[0] && !a[1]).count()
+    }
+}
+
+impl TimingConstraint for CaseAnalysis {
+    #[inline]
+    fn allows(&self, node: NodeId, dir: Transition) -> bool {
+        self.allowed[node.index()][match dir {
+            Transition::Rise => 0,
+            Transition::Fall => 1,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::{k_critical_paths, path_delay, Unconstrained};
+    use crate::DelayLibrary;
+    use fbt_netlist::s27;
+
+    const LIB: DelayLibrary = DelayLibrary::generic_018um();
+
+    #[test]
+    fn no_assignments_allow_everything() {
+        let net = s27();
+        let ca = CaseAnalysis::from_assignments(&net, &[]).unwrap();
+        for id in net.node_ids() {
+            assert!(ca.allows(id, Transition::Rise));
+            assert!(ca.allows(id, Transition::Fall));
+        }
+        assert_eq!(ca.stable_lines(), 0);
+    }
+
+    #[test]
+    fn constant_input_kills_its_cone() {
+        let net = s27();
+        let n = net.num_nodes();
+        let g0 = net.find("G0").unwrap();
+        // G0 constant 1 under both patterns: G14 = NOT(G0) is stable 0, a
+        // controlling value for G8 = AND(G14, G6) -> G8 stable too.
+        let ca = CaseAnalysis::from_assignments(
+            &net,
+            &[
+                (var_of(n, Frame::First, g0), true),
+                (var_of(n, Frame::Second, g0), true),
+            ],
+        )
+        .unwrap();
+        let g14 = net.find("G14").unwrap();
+        let g8 = net.find("G8").unwrap();
+        assert!(!ca.allows(g14, Transition::Rise));
+        assert!(!ca.allows(g14, Transition::Fall));
+        assert!(!ca.allows(g8, Transition::Rise));
+        assert!(!ca.allows(g8, Transition::Fall));
+        assert!(ca.stable_lines() >= 3);
+    }
+
+    #[test]
+    fn rising_constraint_restricts_direction() {
+        let net = s27();
+        let n = net.num_nodes();
+        let g0 = net.find("G0").unwrap();
+        // G0: 0 -> 1 (rising). G14 = NOT(G0) must fall.
+        let ca = CaseAnalysis::from_assignments(
+            &net,
+            &[
+                (var_of(n, Frame::First, g0), false),
+                (var_of(n, Frame::Second, g0), true),
+            ],
+        )
+        .unwrap();
+        let g14 = net.find("G14").unwrap();
+        assert!(ca.allows(g0, Transition::Rise));
+        assert!(!ca.allows(g0, Transition::Fall));
+        assert!(ca.allows(g14, Transition::Fall));
+        assert!(!ca.allows(g14, Transition::Rise));
+    }
+
+    #[test]
+    fn conflicting_assignments_return_none() {
+        let net = s27();
+        let n = net.num_nodes();
+        let g0 = net.find("G0").unwrap();
+        let g14 = net.find("G14").unwrap();
+        // G0 = 1 and G14 = 1 in frame 1 contradict (G14 = NOT G0).
+        let ca = CaseAnalysis::from_assignments(
+            &net,
+            &[
+                (var_of(n, Frame::First, g0), true),
+                (var_of(n, Frame::First, g14), true),
+            ],
+        );
+        assert!(ca.is_none());
+    }
+
+    #[test]
+    fn recalculated_delays_never_increase() {
+        // The central §3.3 property: delays under case analysis are at most
+        // the unconstrained delays, for every surviving path.
+        let net = s27();
+        let n = net.num_nodes();
+        let g1 = net.find("G1").unwrap();
+        let ca = CaseAnalysis::from_assignments(
+            &net,
+            &[
+                (var_of(n, Frame::First, g1), false),
+                (var_of(n, Frame::Second, g1), false),
+            ],
+        )
+        .unwrap();
+        let constrained = k_critical_paths(&net, &LIB, usize::MAX, &ca, 1_000_000);
+        let free = k_critical_paths(&net, &LIB, usize::MAX, &Unconstrained, 1_000_000);
+        assert!(constrained.len() <= free.len());
+        assert!(!constrained.is_empty());
+        for cp in &constrained {
+            let unconstrained_delay =
+                path_delay(&net, &LIB, &cp.path, cp.source_transition, &Unconstrained).unwrap();
+            assert!(cp.delay <= unconstrained_delay + 1e-12);
+        }
+    }
+}

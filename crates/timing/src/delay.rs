@@ -1,0 +1,127 @@
+//! Gate delay library.
+
+use fbt_fault::Transition;
+use fbt_netlist::{GateKind, Netlist, NodeId};
+
+/// Rise/fall pin-to-pin delays (ns) for a generic 0.18 µm-style library.
+///
+/// The smallest delay in the library is the rising delay of an inverter,
+/// 0.03 ns — the paper's Table 3.4 uses exactly this as its unit delay
+/// ("the lowest delay of any gate is the rising delay of an inverter, and it
+/// is equal to 0.03ns").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayLibrary {
+    /// Extra delay per fanout beyond the first (wire/load model).
+    pub load_per_fanout: f64,
+    /// Extra delay per input beyond the second.
+    pub per_extra_input: f64,
+    /// Flip-flop clock-to-Q delay (path launch from a state variable).
+    pub clk_to_q: f64,
+    /// Simultaneous-switching margin added per *toggle-capable* side input
+    /// of a gate. Traditional STA must assume every neighbouring input may
+    /// switch together with the on-path transition (crosstalk / supply
+    /// droop margin); case analysis removes the term for side inputs proven
+    /// stable — the mechanism by which recalculated delays shrink (§3.3.1).
+    pub switching_margin: f64,
+}
+
+impl DelayLibrary {
+    /// The default library used throughout the Chapter 3 experiments.
+    pub const fn generic_018um() -> Self {
+        DelayLibrary {
+            load_per_fanout: 0.006,
+            per_extra_input: 0.008,
+            clk_to_q: 0.120,
+            switching_margin: 0.010,
+        }
+    }
+
+    /// Intrinsic pin-to-pin delay of `kind` producing a transition of
+    /// `dir` at its output.
+    pub fn intrinsic(&self, kind: GateKind, dir: Transition) -> f64 {
+        use GateKind::*;
+        use Transition::*;
+        match (kind, dir) {
+            (Not, Rise) => 0.030,
+            (Not, Fall) => 0.050,
+            (Buf, Rise) => 0.058,
+            (Buf, Fall) => 0.062,
+            (Nand, Rise) => 0.060,
+            (Nand, Fall) => 0.080,
+            (Nor, Rise) => 0.090,
+            (Nor, Fall) => 0.070,
+            (And, Rise) => 0.094,
+            (And, Fall) => 0.102,
+            (Or, Rise) => 0.112,
+            (Or, Fall) => 0.096,
+            (Xor, Rise) => 0.140,
+            (Xor, Fall) => 0.150,
+            (Xnor, Rise) => 0.150,
+            (Xnor, Fall) => 0.142,
+            (Input | Dff, _) => 0.0,
+        }
+    }
+
+    /// Base delay of a transition `dir` appearing at the output of `node`
+    /// (intrinsic + fanin-count and fanout-load terms, *excluding* the
+    /// per-side-input switching margin, which depends on the sensitization
+    /// constraint — see [`crate::sta::edge_delay`]). For sources this is the
+    /// launch delay (0 for primary inputs, clock-to-Q for flip-flops).
+    pub fn node_delay(&self, net: &Netlist, node: NodeId, dir: Transition) -> f64 {
+        let nd = net.node(node);
+        match nd.kind() {
+            GateKind::Input => 0.0,
+            GateKind::Dff => self.clk_to_q,
+            kind => {
+                self.intrinsic(kind, dir)
+                    + self.per_extra_input * nd.fanins().len().saturating_sub(2) as f64
+                    + self.load_per_fanout * nd.fanouts().len().saturating_sub(1) as f64
+            }
+        }
+    }
+
+    /// The paper's unit delay: the rising delay of an inverter.
+    pub fn unit(&self) -> f64 {
+        self.intrinsic(GateKind::Not, Transition::Rise)
+    }
+}
+
+impl Default for DelayLibrary {
+    fn default() -> Self {
+        DelayLibrary::generic_018um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::s27;
+
+    #[test]
+    fn inverter_rise_is_the_unit() {
+        let lib = DelayLibrary::generic_018um();
+        assert_eq!(lib.unit(), 0.03);
+        // It is the smallest intrinsic delay in the library.
+        for kind in GateKind::COMBINATIONAL {
+            for dir in [Transition::Rise, Transition::Fall] {
+                assert!(lib.intrinsic(kind, dir) >= lib.unit(), "{kind} {dir}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_and_fanin_terms() {
+        let net = s27();
+        let lib = DelayLibrary::generic_018um();
+        // G8 = AND(G14, G6) drives G15 and G16 (2 fanouts): one load term.
+        let g8 = net.find("G8").unwrap();
+        let d = lib.node_delay(&net, g8, Transition::Rise);
+        assert!((d - (0.094 + 0.006)).abs() < 1e-12);
+        // Launch from a flip-flop costs clock-to-Q.
+        let g5 = net.find("G5").unwrap();
+        assert_eq!(lib.node_delay(&net, g5, Transition::Rise), 0.120);
+        // Primary inputs launch for free.
+        let g0 = net.find("G0").unwrap();
+        assert_eq!(lib.node_delay(&net, g0, Transition::Fall), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Arrival-time and slack reporting — the everyday STA outputs surrounding
+//! the path-selection flow.
+
+use fbt_fault::Transition;
+use fbt_netlist::{Netlist, NodeId};
+
+use crate::sta::{edge_delay, TimingConstraint};
+use crate::DelayLibrary;
+
+/// Worst-case arrival times per node, per transition direction.
+#[derive(Debug, Clone)]
+pub struct ArrivalTimes {
+    /// `at[node][0]` = worst rising arrival, `[1]` = worst falling; −∞ when
+    /// no admissible transition of that direction can appear on the node.
+    pub at: Vec<[f64; 2]>,
+}
+
+fn idx(d: Transition) -> usize {
+    match d {
+        Transition::Rise => 0,
+        Transition::Fall => 1,
+    }
+}
+
+/// Compute worst-case arrival times under a sensitization constraint.
+pub fn arrival_times(
+    net: &Netlist,
+    lib: &DelayLibrary,
+    constraint: &dyn TimingConstraint,
+) -> ArrivalTimes {
+    let n = net.num_nodes();
+    let mut at = vec![[f64::NEG_INFINITY; 2]; n];
+    for &src in net.inputs().iter().chain(net.dffs()) {
+        for dir in [Transition::Rise, Transition::Fall] {
+            if constraint.allows(src, dir) {
+                at[src.index()][idx(dir)] = lib.node_delay(net, src, dir);
+            }
+        }
+    }
+    for &g in net.eval_order() {
+        let node = net.node(g);
+        for dir in [Transition::Rise, Transition::Fall] {
+            if !constraint.allows(g, dir) {
+                continue;
+            }
+            let in_dir = if node.kind().inverts() { dir.flip() } else { dir };
+            let mut best = f64::NEG_INFINITY;
+            for &f in node.fanins() {
+                let a = at[f.index()][idx(in_dir)];
+                if a == f64::NEG_INFINITY {
+                    continue;
+                }
+                let d = a + edge_delay(net, lib, g, dir, Some(f), constraint);
+                if d > best {
+                    best = d;
+                }
+            }
+            at[g.index()][idx(dir)] = best;
+        }
+    }
+    ArrivalTimes { at }
+}
+
+impl ArrivalTimes {
+    /// Worst arrival over both directions at a node (−∞ for dead nodes).
+    pub fn worst(&self, node: NodeId) -> f64 {
+        let [r, f] = self.at[node.index()];
+        r.max(f)
+    }
+}
+
+/// One endpoint's slack entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackEntry {
+    /// The capture point (primary-output driver or flip-flop D driver).
+    pub endpoint: NodeId,
+    /// Worst arrival time at the endpoint.
+    pub arrival: f64,
+    /// `clock_period − arrival` (negative = timing violation).
+    pub slack: f64,
+}
+
+/// Slack report over all capture points, worst first.
+pub fn slack_report(
+    net: &Netlist,
+    lib: &DelayLibrary,
+    constraint: &dyn TimingConstraint,
+    clock_period: f64,
+) -> Vec<SlackEntry> {
+    let at = arrival_times(net, lib, constraint);
+    let mut endpoints: Vec<NodeId> = net.outputs().to_vec();
+    for &d in net.dffs() {
+        endpoints.push(net.node(d).fanins()[0]);
+    }
+    endpoints.sort_unstable();
+    endpoints.dedup();
+    let mut entries: Vec<SlackEntry> = endpoints
+        .into_iter()
+        .filter(|&e| at.worst(e) > f64::NEG_INFINITY)
+        .map(|e| {
+            let arrival = at.worst(e);
+            SlackEntry {
+                endpoint: e,
+                arrival,
+                slack: clock_period - arrival,
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| a.slack.partial_cmp(&b.slack).unwrap_or(std::cmp::Ordering::Equal));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::{k_critical_paths, Unconstrained};
+    use fbt_netlist::s27;
+
+    const LIB: DelayLibrary = DelayLibrary::generic_018um();
+
+    #[test]
+    fn worst_arrival_equals_most_critical_path_delay() {
+        let net = s27();
+        let at = arrival_times(&net, &LIB, &Unconstrained);
+        let worst_at = net
+            .node_ids()
+            .filter(|&n| {
+                net.is_po_driver(n)
+                    || net.dffs().iter().any(|&d| net.node(d).fanins()[0] == n)
+            })
+            .map(|n| at.worst(n))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let top = k_critical_paths(&net, &LIB, 1, &Unconstrained, 100_000);
+        assert!((worst_at - top[0].delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_monotone_along_fanin() {
+        let net = s27();
+        let at = arrival_times(&net, &LIB, &Unconstrained);
+        for &g in net.eval_order() {
+            for &f in net.node(g).fanins() {
+                // A gate's worst arrival is at least any fanin's arrival
+                // (delays are positive).
+                assert!(at.worst(g) >= at.worst(f), "{}", net.node_name(g));
+            }
+        }
+    }
+
+    #[test]
+    fn slack_report_sorted_and_signed() {
+        let net = s27();
+        let entries = slack_report(&net, &LIB, &Unconstrained, 0.5);
+        assert!(!entries.is_empty());
+        for w in entries.windows(2) {
+            assert!(w[0].slack <= w[1].slack);
+        }
+        // With a generous clock everything meets timing.
+        let relaxed = slack_report(&net, &LIB, &Unconstrained, 10.0);
+        assert!(relaxed.iter().all(|e| e.slack > 0.0));
+        // With an impossible clock everything violates.
+        let tight = slack_report(&net, &LIB, &Unconstrained, 0.0);
+        assert!(tight.iter().all(|e| e.slack < 0.0));
+    }
+}

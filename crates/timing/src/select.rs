@@ -1,0 +1,302 @@
+//! The path-selection procedure of paper §3.3.2 (Fig. 3.1).
+//!
+//! 1. Traditional STA yields an initial set `FPo` of `M` most critical path
+//!    delay faults.
+//! 2. Input necessary assignments remove provably undetectable faults; the
+//!    `N` most critical potentially detectable faults (plus delay ties)
+//!    initialize `Target_PDF`.
+//! 3. For every fault in `Target_PDF`, its delay is *recalculated* under its
+//!    input necessary assignments (case analysis), and any potentially
+//!    detectable path whose constrained delay is at least as high is added
+//!    to the set — a transitive closure over "at least as critical under the
+//!    conditions this fault imposes".
+//! 4. Faults are finally ranked by recalculated delay.
+
+use std::collections::HashSet;
+
+use fbt_atpg::necessary::{tpdf_analysis, Analysis, VarAssign};
+use fbt_fault::{Transition, TransitionPathDelayFault};
+use fbt_netlist::{Netlist, NodeId};
+
+use crate::case::CaseAnalysis;
+use crate::sta::{k_critical_paths, path_delay, TimingConstraint, Unconstrained};
+use crate::DelayLibrary;
+
+/// Configuration of the selection procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathSelectionConfig {
+    /// Number of faults wanted for test generation (`N`).
+    pub n: usize,
+    /// Size of the initial STA set (`M > N`).
+    pub m: usize,
+    /// Search budget for each critical-path enumeration.
+    pub max_expansions: usize,
+    /// Upper bound on the initial-set size `M` while it is being doubled in
+    /// search of `N` potentially detectable faults (a cap on analysis work
+    /// for circuits whose critical paths are almost all undetectable).
+    pub m_cap: usize,
+}
+
+impl PathSelectionConfig {
+    /// A configuration selecting `n` faults from an initial pool of `4 n`.
+    pub fn for_n(n: usize) -> Self {
+        PathSelectionConfig {
+            n,
+            m: 4 * n,
+            max_expansions: 2_000_000,
+            m_cap: 2_000 * n,
+        }
+    }
+}
+
+/// One selected fault with its delay history.
+#[derive(Debug, Clone)]
+pub struct SelectedFault {
+    /// The fault.
+    pub fault: TransitionPathDelayFault,
+    /// Delay from traditional STA ("original" of Table 3.1).
+    pub original_delay: f64,
+    /// Delay recalculated under the fault's input necessary assignments
+    /// ("final").
+    pub final_delay: f64,
+    /// Whether the fault entered `Target_PDF` only during recalculation
+    /// (the "new paths" column of Table 3.1).
+    pub added_during_recalculation: bool,
+}
+
+/// The outcome of the procedure.
+#[derive(Debug, Clone)]
+pub struct PathSelection {
+    /// `Target_PDF` after the procedure, sorted by decreasing recalculated
+    /// delay.
+    pub target: Vec<SelectedFault>,
+    /// Size of `Target_PDF` before recalculation (the "original" row of
+    /// Table 3.2 — `N` plus delay ties).
+    pub initial_count: usize,
+    /// Faults from `FPo` skipped as provably undetectable.
+    pub undetectable_skipped: usize,
+}
+
+impl PathSelection {
+    /// The `n` most critical faults by recalculated delay (with ties).
+    pub fn most_critical(&self, n: usize) -> &[SelectedFault] {
+        if self.target.len() <= n {
+            return &self.target;
+        }
+        let cutoff = self.target[n - 1].final_delay;
+        let mut end = n;
+        while end < self.target.len() && (self.target[end].final_delay - cutoff).abs() < 1e-12 {
+            end += 1;
+        }
+        &self.target[..end]
+    }
+}
+
+fn fault_key(f: &TransitionPathDelayFault) -> (Vec<NodeId>, Transition) {
+    (f.path.nodes().to_vec(), f.source_transition)
+}
+
+/// Run the procedure.
+///
+/// # Example
+///
+/// ```
+/// use fbt_timing::{select_paths, DelayLibrary, PathSelectionConfig};
+///
+/// let net = fbt_netlist::s27();
+/// let lib = DelayLibrary::generic_018um();
+/// let sel = select_paths(&net, &lib, &PathSelectionConfig::for_n(4));
+/// for f in &sel.target {
+///     assert!(f.final_delay <= f.original_delay); // §3.3: never increases
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cfg.n == 0` or `cfg.m < cfg.n`.
+pub fn select_paths(net: &Netlist, lib: &DelayLibrary, cfg: &PathSelectionConfig) -> PathSelection {
+    assert!(cfg.n > 0, "must select at least one fault");
+    assert!(cfg.m >= cfg.n, "M must be at least N");
+    let empty = HashSet::new();
+
+    // Steps 1–2: traditional STA over M most critical faults, dropping
+    // undetectable ones; if fewer than N potentially detectable faults are
+    // obtained, M is increased (§3.3.2) until the circuit is exhausted.
+    let mut m = cfg.m;
+    let (fpo, undetectable_skipped, mut target, mut seen) = loop {
+        let fpo = k_critical_paths(net, lib, m, &Unconstrained, cfg.max_expansions);
+        let exhausted = fpo.len() < m;
+        let mut undetectable_skipped = 0usize;
+        let mut target: Vec<(TransitionPathDelayFault, f64, Vec<VarAssign>, bool)> = Vec::new();
+        let mut seen: HashSet<(Vec<NodeId>, Transition)> = HashSet::new();
+        let mut cutoff: Option<f64> = None;
+        for cp in &fpo {
+            if let Some(c) = cutoff {
+                if cp.delay < c - 1e-12 {
+                    break;
+                }
+            }
+            let fault = TransitionPathDelayFault::new(cp.path.clone(), cp.source_transition);
+            match tpdf_analysis(net, &fault, &empty) {
+                Analysis::Undetectable => undetectable_skipped += 1,
+                Analysis::Potential(sets) => {
+                    seen.insert(fault_key(&fault));
+                    target.push((fault, cp.delay, sets.input_necessary, false));
+                    if target.len() == cfg.n {
+                        cutoff = Some(cp.delay);
+                    }
+                }
+            }
+        }
+        if target.len() >= cfg.n || exhausted || m >= cfg.m_cap {
+            break (fpo, undetectable_skipped, target, seen);
+        }
+        m *= 2;
+    };
+    let _ = fpo;
+    let initial_count = target.len();
+
+    // Step 3: recalculation + transitive expansion.
+    let mut results: Vec<SelectedFault> = Vec::new();
+    let mut i = 0usize;
+    while i < target.len() {
+        let (fault, original, assigns, added) = target[i].clone();
+        let constraint: Box<dyn TimingConstraint> =
+            match CaseAnalysis::from_assignments(net, &assigns) {
+                Some(ca) => Box::new(ca),
+                None => Box::new(Unconstrained),
+            };
+        let final_delay = path_delay(
+            net,
+            lib,
+            &fault.path,
+            fault.source_transition,
+            constraint.as_ref(),
+        )
+        .unwrap_or(original);
+
+        // Paths at least as critical as this fault under its assignments.
+        let peers = k_critical_paths(net, lib, cfg.m, constraint.as_ref(), cfg.max_expansions);
+        for cp in peers {
+            if cp.delay < final_delay - 1e-12 {
+                break;
+            }
+            let candidate = TransitionPathDelayFault::new(cp.path.clone(), cp.source_transition);
+            let key = fault_key(&candidate);
+            if seen.contains(&key) {
+                continue;
+            }
+            if let Analysis::Potential(sets) = tpdf_analysis(net, &candidate, &empty) {
+                let orig = path_delay(
+                    net,
+                    lib,
+                    &candidate.path,
+                    candidate.source_transition,
+                    &Unconstrained,
+                )
+                .expect("unconstrained delay exists");
+                seen.insert(key);
+                target.push((candidate, orig, sets.input_necessary, true));
+            } else {
+                seen.insert(key);
+            }
+        }
+
+        results.push(SelectedFault {
+            fault,
+            original_delay: original,
+            final_delay,
+            added_during_recalculation: added,
+        });
+        i += 1;
+    }
+
+    // Step 4: rank by recalculated delay.
+    results.sort_by(|a, b| {
+        b.final_delay
+            .partial_cmp(&a.final_delay)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    PathSelection {
+        target: results,
+        initial_count,
+        undetectable_skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::{s27, synth};
+
+    const LIB: DelayLibrary = DelayLibrary::generic_018um();
+
+    #[test]
+    fn selection_on_s27() {
+        let net = s27();
+        let sel = select_paths(&net, &LIB, &PathSelectionConfig::for_n(5));
+        assert!(sel.target.len() >= 5);
+        // Final delays never exceed originals (§3.3: "the delays never
+        // increase since input necessary assignments constrain values").
+        for f in &sel.target {
+            assert!(
+                f.final_delay <= f.original_delay + 1e-12,
+                "{}: {} > {}",
+                f.fault.path.display(&net),
+                f.final_delay,
+                f.original_delay
+            );
+        }
+        // Ranked by final delay.
+        for w in sel.target.windows(2) {
+            assert!(w[0].final_delay >= w[1].final_delay - 1e-12);
+        }
+    }
+
+    #[test]
+    fn most_critical_respects_ties() {
+        let net = s27();
+        let sel = select_paths(&net, &LIB, &PathSelectionConfig::for_n(4));
+        let top = sel.most_critical(4);
+        assert!(top.len() >= 4);
+        if top.len() > 4 {
+            assert!((top[3].final_delay - top[4].final_delay).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_undetectable_fault_selected() {
+        let net = s27();
+        let sel = select_paths(&net, &LIB, &PathSelectionConfig::for_n(8));
+        let empty = HashSet::new();
+        for f in &sel.target {
+            assert!(
+                !tpdf_analysis(&net, &f.fault, &empty).is_undetectable(),
+                "undetectable fault selected: {}",
+                f.fault.path.display(&net)
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_circuit_selection_expands_target() {
+        // On a larger circuit the procedure typically grows Target_PDF
+        // beyond the initial set ("final" >= "original" sizes, Table 3.2).
+        let net = synth::generate(&synth::find("s386").unwrap().scaled(2));
+        let sel = select_paths(&net, &LIB, &PathSelectionConfig::for_n(10));
+        assert!(sel.target.len() >= sel.initial_count);
+        assert!(sel.initial_count >= 10 || sel.target.len() < 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = s27();
+        let a = select_paths(&net, &LIB, &PathSelectionConfig::for_n(6));
+        let b = select_paths(&net, &LIB, &PathSelectionConfig::for_n(6));
+        assert_eq!(a.target.len(), b.target.len());
+        for (x, y) in a.target.iter().zip(&b.target) {
+            assert_eq!(x.fault, y.fault);
+            assert_eq!(x.final_delay, y.final_delay);
+        }
+    }
+}

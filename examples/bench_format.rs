@@ -1,0 +1,54 @@
+//! Working with external circuits: read an ISCAS89 `.bench` file (here,
+//! generated on the fly), insert it into the BIST flow, and write the
+//! netlist back out.
+//!
+//! ```sh
+//! cargo run --release --example bench_format -- [path/to/circuit.bench]
+//! ```
+
+use std::error::Error;
+
+use fbt::bist::{cube, Tpg, TpgSpec};
+use fbt::netlist::{bench, synth};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Load a netlist: from the command line if given, else a catalog
+    // circuit round-tripped through the .bench format.
+    let net = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)?;
+            bench::parse(&text, &path)?
+        }
+        None => {
+            let original = synth::generate(&synth::find("s344").unwrap());
+            let text = bench::write(&original);
+            println!("--- {} in .bench format (first lines) ---", original.name());
+            for line in text.lines().take(10) {
+                println!("{line}");
+            }
+            println!("...");
+            bench::parse(&text, original.name())?
+        }
+    };
+    println!("\nparsed: {net}");
+
+    // The primary input cube C (paper §4.3): which inputs get biasing gates.
+    let c = cube::input_cube(&net);
+    let nsp = cube::specified_count(&c);
+    println!(
+        "input cube: {nsp} of {} inputs specified (NSP -> {nsp} biasing gates)",
+        net.num_inputs()
+    );
+
+    // The TPG hardware this circuit would receive.
+    let spec = TpgSpec::standard(c);
+    println!(
+        "TPG: {}-stage LFSR, m = {}, shift register of {} bits",
+        spec.lfsr_width,
+        spec.m,
+        spec.shift_register_len()
+    );
+    let mut tpg = Tpg::new(spec, 0xACE1);
+    println!("first on-chip vectors: {} {} {}", tpg.next_vector(), tpg.next_vector(), tpg.next_vector());
+    Ok(())
+}
