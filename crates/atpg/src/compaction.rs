@@ -13,8 +13,8 @@
 //!
 //! Both preserve fault coverage exactly.
 
-use fbt_fault::sim::FaultSim;
 use fbt_fault::{BroadsideTest, TransitionFault};
+use fbt_fault::{FaultSimEngine, PackedParallelSim, SerialSim};
 use fbt_netlist::Netlist;
 
 /// Reverse-order compaction: indices (in increasing order) of the kept
@@ -24,7 +24,7 @@ pub fn reverse_order(
     tests: &[BroadsideTest],
     faults: &[TransitionFault],
 ) -> Vec<usize> {
-    let mut fsim = FaultSim::new(net);
+    let mut fsim = SerialSim::new(net);
     let mut detected = vec![false; faults.len()];
     let mut kept = Vec::new();
     for i in (0..tests.len()).rev() {
@@ -44,13 +44,13 @@ pub fn forward_looking(
     tests: &[BroadsideTest],
     faults: &[TransitionFault],
 ) -> Vec<usize> {
-    let mut fsim = FaultSim::new(net);
+    let mut fsim = PackedParallelSim::new(net);
     let matrix = fsim.detection_matrix(tests, faults);
-    let words = tests.len().div_ceil(64);
+    let words = matrix.words_per_row();
     // last_det[f] = index of the last test detecting fault f.
-    let last_det: Vec<Option<usize>> = matrix
-        .iter()
-        .map(|row| {
+    let last_det: Vec<Option<usize>> = (0..faults.len())
+        .map(|f| {
+            let row = matrix.row(f);
             (0..words)
                 .rev()
                 .find(|&w| row[w] != 0)
@@ -63,17 +63,13 @@ pub fn forward_looking(
     let mut covered = vec![false; faults.len()];
     let mut kept = Vec::new();
     for (i, _) in tests.iter().enumerate() {
-        let essential = (0..faults.len()).any(|f| {
-            !covered[f] && last_det[f] == Some(i)
-        });
-        let detects_uncovered = (0..faults.len()).any(|f| {
-            !covered[f] && (matrix[f][i / 64] >> (i % 64)) & 1 == 1
-        });
+        let essential = (0..faults.len()).any(|f| !covered[f] && last_det[f] == Some(i));
+        let detects_uncovered = (0..faults.len()).any(|f| !covered[f] && matrix.detects(f, i));
         if essential && detects_uncovered {
             kept.push(i);
-            for f in 0..faults.len() {
-                if (matrix[f][i / 64] >> (i % 64)) & 1 == 1 {
-                    covered[f] = true;
+            for (f, c) in covered.iter_mut().enumerate() {
+                if matrix.detects(f, i) {
+                    *c = true;
                 }
             }
         }
@@ -85,9 +81,9 @@ pub fn forward_looking(
         if !covered[f] {
             if let Some(i) = last_det[f] {
                 kept.push(i);
-                for g in 0..faults.len() {
-                    if (matrix[g][i / 64] >> (i % 64)) & 1 == 1 {
-                        covered[g] = true;
+                for (g, c) in covered.iter_mut().enumerate() {
+                    if matrix.detects(g, i) {
+                        *c = true;
                     }
                 }
             }
@@ -105,7 +101,7 @@ pub fn subset_coverage(
     subset: &[usize],
     faults: &[TransitionFault],
 ) -> usize {
-    let mut fsim = FaultSim::new(net);
+    let mut fsim = PackedParallelSim::new(net);
     let mut detected = vec![false; faults.len()];
     let selected: Vec<BroadsideTest> = subset.iter().map(|&i| tests[i].clone()).collect();
     fsim.run(&selected, faults, &mut detected);

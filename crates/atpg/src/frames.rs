@@ -294,18 +294,22 @@ impl<'a> TwoFrame<'a> {
                 reaches[i] = true;
                 continue;
             }
-            reaches[i] = self.net.node(id).fanouts().iter().any(|&fo| {
-                !self.net.node(fo).kind().is_source() && reaches[fo.index()]
-            });
+            reaches[i] = self
+                .net
+                .node(id)
+                .fanouts()
+                .iter()
+                .any(|&fo| !self.net.node(fo).kind().is_source() && reaches[fo.index()]);
         }
         // Sources (the fault may sit on a PI or state line).
         {
             let i = g.index();
             if self.net.node(g).kind().is_source() && maybe(i) {
-                reaches[i] = self.observable[i]
-                    || self.net.node(g).fanouts().iter().any(|&fo| {
-                        !self.net.node(fo).kind().is_source() && reaches[fo.index()]
-                    });
+                reaches[i] =
+                    self.observable[i]
+                        || self.net.node(g).fanouts().iter().any(|&fo| {
+                            !self.net.node(fo).kind().is_source() && reaches[fo.index()]
+                        });
             }
         }
 
@@ -330,9 +334,10 @@ impl<'a> TwoFrame<'a> {
             }
             // Objective: set an unspecified side input to the
             // non-controlling value (or an arbitrary value for XOR-class).
-            let side = node.fanins().iter().find(|f| {
-                self.good[n + f.index()] == Trit::X
-            });
+            let side = node
+                .fanins()
+                .iter()
+                .find(|f| self.good[n + f.index()] == Trit::X);
             if let Some(&side) = side {
                 let value = match node.kind().controlling_value() {
                     Some(c) => !c,
@@ -482,7 +487,8 @@ mod tests {
         // For fully specified cubes, Detected <-> the fault simulator agrees.
         let net = s27();
         let mut tfm = TwoFrame::new(&net);
-        let mut fsim = fbt_fault::sim::FaultSim::new(&net);
+        use fbt_fault::FaultSimEngine;
+        let mut fsim = fbt_fault::SerialSim::new(&net);
         let faults = fbt_fault::all_transition_faults(&net);
         let mut rng = fbt_netlist::rng::Rng::new(17);
         for _ in 0..25 {

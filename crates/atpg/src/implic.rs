@@ -176,7 +176,12 @@ impl<'a> Implicator<'a> {
 
     /// Backward justification: when a gate's output value leaves only one
     /// way to assign its remaining inputs, make those assignments.
-    fn justify(&mut self, frame: Frame, node: NodeId, queue: &mut Vec<usize>) -> Result<(), Conflict> {
+    fn justify(
+        &mut self,
+        frame: Frame,
+        node: NodeId,
+        queue: &mut Vec<usize>,
+    ) -> Result<(), Conflict> {
         let nd = self.net.node(node);
         let kind = nd.kind();
         if kind.is_source() {
@@ -189,10 +194,18 @@ impl<'a> Implicator<'a> {
         let fanins: Vec<NodeId> = nd.fanins().to_vec();
         match kind {
             GateKind::Not => {
-                self.post(var_of(self.n, frame, fanins[0]), Trit::from_bool(!out), queue)?;
+                self.post(
+                    var_of(self.n, frame, fanins[0]),
+                    Trit::from_bool(!out),
+                    queue,
+                )?;
             }
             GateKind::Buf => {
-                self.post(var_of(self.n, frame, fanins[0]), Trit::from_bool(out), queue)?;
+                self.post(
+                    var_of(self.n, frame, fanins[0]),
+                    Trit::from_bool(out),
+                    queue,
+                )?;
             }
             GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
                 let inverted = kind.inverts();
@@ -280,8 +293,12 @@ mod tests {
         let n = net.num_nodes();
         let mut imp = Implicator::new(&net);
         // G8 = AND(G14, G6): G14 = 0 forces G8 = 0.
-        imp.assign(var_of(n, Frame::First, v(&net, "G14")), false).unwrap();
-        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G8"))), Trit::Zero);
+        imp.assign(var_of(n, Frame::First, v(&net, "G14")), false)
+            .unwrap();
+        assert_eq!(
+            imp.value(var_of(n, Frame::First, v(&net, "G8"))),
+            Trit::Zero
+        );
         // And backward through the NOT: G14 = 0 -> G0 = 1.
         assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G0"))), Trit::One);
     }
@@ -292,9 +309,16 @@ mod tests {
         let n = net.num_nodes();
         let mut imp = Implicator::new(&net);
         // G9 = NAND(G16, G15) = 0 forces G16 = G15 = 1.
-        imp.assign(var_of(n, Frame::First, v(&net, "G9")), false).unwrap();
-        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G16"))), Trit::One);
-        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G15"))), Trit::One);
+        imp.assign(var_of(n, Frame::First, v(&net, "G9")), false)
+            .unwrap();
+        assert_eq!(
+            imp.value(var_of(n, Frame::First, v(&net, "G16"))),
+            Trit::One
+        );
+        assert_eq!(
+            imp.value(var_of(n, Frame::First, v(&net, "G15"))),
+            Trit::One
+        );
     }
 
     #[test]
@@ -303,11 +327,18 @@ mod tests {
         let n = net.num_nodes();
         let mut imp = Implicator::new(&net);
         // G8 = AND(G14, G6) = 1 with nothing else -> both inputs 1.
-        imp.assign(var_of(n, Frame::First, v(&net, "G8")), true).unwrap();
-        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G14"))), Trit::One);
+        imp.assign(var_of(n, Frame::First, v(&net, "G8")), true)
+            .unwrap();
+        assert_eq!(
+            imp.value(var_of(n, Frame::First, v(&net, "G14"))),
+            Trit::One
+        );
         assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G6"))), Trit::One);
         // G14 = NOT(G0) = 1 -> G0 = 0.
-        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G0"))), Trit::Zero);
+        assert_eq!(
+            imp.value(var_of(n, Frame::First, v(&net, "G0"))),
+            Trit::Zero
+        );
     }
 
     #[test]
@@ -316,12 +347,20 @@ mod tests {
         let n = net.num_nodes();
         // Frame-2 G5 (DFF) = 1 -> frame-1 G10 = 1 (its D driver).
         let mut imp = Implicator::new(&net);
-        imp.assign(var_of(n, Frame::Second, v(&net, "G5")), true).unwrap();
-        assert_eq!(imp.value(var_of(n, Frame::First, v(&net, "G10"))), Trit::One);
+        imp.assign(var_of(n, Frame::Second, v(&net, "G5")), true)
+            .unwrap();
+        assert_eq!(
+            imp.value(var_of(n, Frame::First, v(&net, "G10"))),
+            Trit::One
+        );
         // Reverse: frame-1 G10 = 0 -> frame-2 G5 = 0.
         let mut imp = Implicator::new(&net);
-        imp.assign(var_of(n, Frame::First, v(&net, "G10")), false).unwrap();
-        assert_eq!(imp.value(var_of(n, Frame::Second, v(&net, "G5"))), Trit::Zero);
+        imp.assign(var_of(n, Frame::First, v(&net, "G10")), false)
+            .unwrap();
+        assert_eq!(
+            imp.value(var_of(n, Frame::Second, v(&net, "G5"))),
+            Trit::Zero
+        );
     }
 
     #[test]
@@ -330,7 +369,8 @@ mod tests {
         let n = net.num_nodes();
         let mut imp = Implicator::new(&net);
         let mark = imp.checkpoint();
-        imp.assign(var_of(n, Frame::First, v(&net, "G14")), false).unwrap();
+        imp.assign(var_of(n, Frame::First, v(&net, "G14")), false)
+            .unwrap();
         // G14 = NOT(G0), so G0 = 1 is implied; asserting G0 = 0 conflicts.
         let r = imp.assign(var_of(n, Frame::First, v(&net, "G0")), false);
         assert!(r.is_err());
@@ -384,11 +424,12 @@ mod tests {
         let n = net.num_nodes();
         let mut imp = Implicator::new(&net);
         let mark = imp.checkpoint();
-        imp.assign(var_of(n, Frame::First, v(&net, "G8")), true).unwrap();
+        imp.assign(var_of(n, Frame::First, v(&net, "G8")), true)
+            .unwrap();
         let added = imp.since(mark);
         assert!(!added.is_empty());
-        assert!(added.iter().any(|&(var, val)| {
-            var == var_of(n, Frame::First, v(&net, "G14")) && val
-        }));
+        assert!(added
+            .iter()
+            .any(|&(var, val)| { var == var_of(n, Frame::First, v(&net, "G14")) && val }));
     }
 }

@@ -49,11 +49,7 @@ impl TestCube {
 
     /// Fill the unspecified entries with `value`.
     pub fn fill(&self, value: bool) -> BroadsideTest {
-        let f = |v: &[Trit]| -> Bits {
-            v.iter()
-                .map(|t| t.to_bool().unwrap_or(value))
-                .collect()
-        };
+        let f = |v: &[Trit]| -> Bits { v.iter().map(|t| t.to_bool().unwrap_or(value)).collect() };
         BroadsideTest::new(f(&self.s1), f(&self.v1), f(&self.v2))
     }
 

@@ -6,8 +6,9 @@
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
-use fbt_fault::sim::FaultSim;
-use fbt_fault::{BroadsideTest, TransitionFault, TransitionPathDelayFault};
+use fbt_fault::{
+    BroadsideTest, FaultSimEngine, PackedParallelSim, TransitionFault, TransitionPathDelayFault,
+};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::{GateKind, Netlist};
 use fbt_sim::Trit;
@@ -156,7 +157,11 @@ pub fn cube_from_inputs(net: &Netlist, assigns: &[VarAssign]) -> TestCube {
 
 /// Which transition faults of `trs` are already (definitely) detected under
 /// `cube`?
-fn detected_under(engine: &mut TwoFrame<'_>, cube: &TestCube, trs: &[TransitionFault]) -> Vec<bool> {
+fn detected_under(
+    engine: &mut TwoFrame<'_>,
+    cube: &TestCube,
+    trs: &[TransitionFault],
+) -> Vec<bool> {
     engine.load_cube(cube);
     engine.forward();
     trs.iter()
@@ -227,7 +232,11 @@ pub fn run_pipeline(
             }
         }
     }
-    let undet_prep = statuses.iter().flatten().filter(|s| s.is_undetectable()).count();
+    let undet_prep = statuses
+        .iter()
+        .flatten()
+        .filter(|s| s.is_undetectable())
+        .count();
     stats
         .undetectable
         .insert(SubProcedure::Preprocess, undet_prep);
@@ -237,9 +246,9 @@ pub fn run_pipeline(
     // under the path faults (§2.3.3): a path fault is detected by a test iff
     // the test detects every transition fault along its path.
     let t0 = Instant::now();
-    let mut fsim = FaultSim::new(net);
+    let mut fsim = PackedParallelSim::new(net);
     let matrix = fsim.detection_matrix(&tf_tests, &unique_tfs);
-    let words = tf_tests.len().div_ceil(64);
+    let words = matrix.words_per_row();
     let mut det_fsim = 0usize;
     for (i, f) in faults.iter().enumerate() {
         if statuses[i].is_some() {
@@ -249,7 +258,7 @@ pub fn run_pipeline(
         'word: for w in 0..words {
             let mut all = !0u64;
             for t in &trs {
-                all &= matrix[tf_index[t]][w];
+                all &= matrix.row(tf_index[t])[w];
                 if all == 0 {
                     continue 'word;
                 }

@@ -13,7 +13,7 @@
 use fbt_atpg::tpdf::{run_pipeline, TpdfConfig, TpdfStatus};
 use fbt_atpg::PodemConfig;
 use fbt_fault::path::{enumerate_paths, tpdf_list};
-use fbt_fault::sim::FaultSim;
+use fbt_fault::{FaultSimEngine, PackedParallelSim};
 use fbt_netlist::s27;
 use fbt_sim::Bits;
 use std::time::Duration;
@@ -37,7 +37,7 @@ fn pipeline_matches_exhaustive_ground_truth_on_s27() {
     assert_eq!(faults.len(), 56, "Table 2.1: 56 faults for s27");
 
     let tests = all_broadside_tests();
-    let mut fsim = FaultSim::new(&net);
+    let mut fsim = PackedParallelSim::new(&net);
     let words = tests.len().div_ceil(64);
 
     let truth: Vec<bool> = faults
@@ -47,8 +47,8 @@ fn pipeline_matches_exhaustive_ground_truth_on_s27() {
             let mat = fsim.detection_matrix(&tests, &trs);
             (0..words).any(|w| {
                 let mut all = !0u64;
-                for r in &mat {
-                    all &= r[w];
+                for fi in 0..mat.num_faults() {
+                    all &= mat.row(fi)[w];
                 }
                 all != 0
             })

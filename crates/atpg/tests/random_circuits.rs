@@ -3,27 +3,30 @@
 //! independent bit-parallel fault simulator, for *any* fill of the cube's
 //! unspecified bits; and necessary assignments must never contradict a
 //! PODEM-found test.
+//!
+//! Runs deterministically from fixed seeds with the in-tree RNG so the
+//! suite needs no external crates (the build environment is offline).
 
-use proptest::prelude::*;
 use std::time::Duration;
 
 use fbt_atpg::necessary::{transition_fault_analysis, Analysis};
 use fbt_atpg::podem::{AtpgOutcome, Podem};
 use fbt_atpg::PodemConfig;
-use fbt_fault::sim::FaultSim;
-use fbt_fault::{all_transition_faults, collapse};
+use fbt_fault::{all_transition_faults, collapse, FaultSimEngine, SerialSim};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::synth::CircuitSpec;
 use fbt_netlist::{synth, Netlist};
 
-fn small_circuit() -> impl Strategy<Value = Netlist> {
-    (2usize..6, 1usize..4, 2usize..7, 15usize..60, any::<u64>()).prop_map(
-        |(pi, po, ff, gates, seed)| {
-            let mut spec = CircuitSpec::new("prop-atpg", pi, po, ff, gates);
-            spec.seed = seed;
-            synth::generate(&spec)
-        },
-    )
+/// Derive a small random circuit from one RNG draw, mirroring the ranges
+/// the old proptest strategy used.
+fn small_circuit(rng: &mut Rng) -> Netlist {
+    let pi = 2 + (rng.next_u64() % 4) as usize; // 2..6
+    let po = 1 + (rng.next_u64() % 3) as usize; // 1..4
+    let ff = 2 + (rng.next_u64() % 5) as usize; // 2..7
+    let gates = 15 + (rng.next_u64() % 45) as usize; // 15..60
+    let mut spec = CircuitSpec::new("rand-atpg", pi, po, ff, gates);
+    spec.seed = rng.next_u64();
+    synth::generate(&spec)
 }
 
 fn cfg() -> PodemConfig {
@@ -33,37 +36,36 @@ fn cfg() -> PodemConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// PODEM's tests are sound: any random fill of the returned cube
-    /// detects the fault under the fault simulator.
-    #[test]
-    fn podem_tests_are_sound(net in small_circuit(), fill_seed in any::<u64>()) {
+/// PODEM's tests are sound: any random fill of the returned cube detects
+/// the fault under the fault simulator.
+#[test]
+fn podem_tests_are_sound() {
+    let mut rng = Rng::new(0xA1);
+    for _ in 0..25 {
+        let net = small_circuit(&mut rng);
         let mut podem = Podem::new(&net, cfg());
-        let mut fsim = FaultSim::new(&net);
-        let mut rng = Rng::new(fill_seed);
+        let mut fsim = SerialSim::new(&net);
         let faults = collapse(&net, &all_transition_faults(&net));
         for f in faults.iter().take(30) {
             if let AtpgOutcome::Test(cube) = podem.generate(f) {
                 for _ in 0..3 {
                     let t = cube.fill_random(&mut rng);
-                    prop_assert!(
-                        fsim.detects(&t, f),
-                        "PODEM cube for {f} fails under fill"
-                    );
+                    assert!(fsim.detects(&t, f), "PODEM cube for {f} fails under fill");
                 }
             }
         }
     }
+}
 
-    /// Faults that PODEM proves untestable are never detected by random
-    /// simulation (a one-sided soundness check for Untestable verdicts).
-    #[test]
-    fn untestable_faults_resist_random_tests(net in small_circuit(), seed in any::<u64>()) {
+/// Faults that PODEM proves untestable are never detected by random
+/// simulation (a one-sided soundness check for Untestable verdicts).
+#[test]
+fn untestable_faults_resist_random_tests() {
+    let mut rng = Rng::new(0xB2);
+    for _ in 0..25 {
+        let net = small_circuit(&mut rng);
         let mut podem = Podem::new(&net, cfg());
-        let mut fsim = FaultSim::new(&net);
-        let mut rng = Rng::new(seed);
+        let mut fsim = SerialSim::new(&net);
         let faults = collapse(&net, &all_transition_faults(&net));
         let tests: Vec<fbt_fault::BroadsideTest> = (0..96)
             .map(|_| {
@@ -77,7 +79,7 @@ proptest! {
         for f in faults.iter().take(30) {
             if matches!(podem.generate(f), AtpgOutcome::Untestable) {
                 for t in &tests {
-                    prop_assert!(
+                    assert!(
                         !fsim.detects(t, f),
                         "untestable {f} detected by a random test"
                     );
@@ -85,28 +87,30 @@ proptest! {
             }
         }
     }
+}
 
-    /// Necessary-assignment analysis is consistent with PODEM: a fault with
-    /// contradictory necessary assignments is never given a test, and every
-    /// PODEM test satisfies the computed input necessary assignments.
-    #[test]
-    fn necessary_assignments_agree_with_podem(net in small_circuit()) {
+/// Necessary-assignment analysis is consistent with PODEM: a fault with
+/// contradictory necessary assignments is never given a test, and every
+/// PODEM test satisfies the computed input necessary assignments.
+#[test]
+fn necessary_assignments_agree_with_podem() {
+    let mut rng = Rng::new(0xC3);
+    for _ in 0..25 {
+        let net = small_circuit(&mut rng);
         let mut podem = Podem::new(&net, cfg());
         let faults = collapse(&net, &all_transition_faults(&net));
         for f in faults.iter().take(25) {
             let analysis = transition_fault_analysis(&net, f);
             let outcome = podem.generate(f);
             if analysis.is_undetectable() {
-                prop_assert!(
+                assert!(
                     !matches!(outcome, AtpgOutcome::Test(_)),
                     "NA says undetectable but PODEM found a test for {f}"
                 );
             }
-            if let (Analysis::Potential(sets), AtpgOutcome::Test(cube)) =
-                (analysis, outcome)
-            {
+            if let (Analysis::Potential(sets), AtpgOutcome::Test(cube)) = (analysis, outcome) {
                 let base = fbt_atpg::tpdf::cube_from_inputs(&net, &sets.input_necessary);
-                prop_assert!(
+                assert!(
                     base.compatible(&cube),
                     "PODEM test for {f} violates its necessary assignments"
                 );

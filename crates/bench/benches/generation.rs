@@ -1,59 +1,61 @@
-//! Criterion benches over the end-to-end generation procedures: the
+//! Self-contained benches over the end-to-end generation procedures: the
 //! unconstrained baseline of \[73\], the constrained multi-segment method
 //! (the paper's contribution), the state-holding stage, and the TPDF
 //! pipeline — the wall-clock counterparts of Tables 2.5 / 2.6 and the run
 //! costs behind Tables 4.3 / 4.4.
+//!
+//! Criterion is deliberately not used (offline build environment); the
+//! harness is a plain timed loop. Run with `cargo bench --bench generation`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use fbt_atpg::tpdf::{run_pipeline, TpdfConfig};
 use fbt_core::driver::DrivingBlock;
-use fbt_core::{generate_constrained, generate_unconstrained, improve_with_holding, swafunc, FunctionalBistConfig};
+use fbt_core::{
+    generate_constrained, generate_unconstrained, improve_with_holding, swafunc,
+    FunctionalBistConfig,
+};
 use fbt_fault::path::{enumerate_paths, tpdf_list};
 use fbt_netlist::s27;
 
-fn bench_unconstrained(c: &mut Criterion) {
-    let net = s27();
-    let cfg = FunctionalBistConfig::smoke();
-    c.bench_function("unconstrained_s27_smoke", |b| {
-        b.iter(|| black_box(generate_unconstrained(&net, &cfg)))
-    });
+/// Time `f` adaptively: warm up once, then repeat until ~0.5 s has elapsed
+/// and report the mean per-iteration time.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let budget = Duration::from_millis(500);
+    let mut iters = 0u32;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        black_box(f());
+        iters += 1;
+    }
+    let mean = start.elapsed() / iters.max(1);
+    println!("{name:<36} {mean:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_constrained(c: &mut Criterion) {
+fn main() {
     let net = s27();
     let cfg = FunctionalBistConfig::smoke();
+
+    bench("unconstrained_s27_smoke", || {
+        black_box(generate_unconstrained(&net, &cfg))
+    });
+
     let bound = swafunc(&net, &DrivingBlock::Buffers, &cfg);
-    c.bench_function("constrained_s27_smoke", |b| {
-        b.iter(|| black_box(generate_constrained(&net, bound, &cfg)))
+    bench("constrained_s27_smoke", || {
+        black_box(generate_constrained(&net, bound, &cfg))
     });
-}
 
-fn bench_holding(c: &mut Criterion) {
-    let net = s27();
-    let cfg = FunctionalBistConfig::smoke();
     let bound = swafunc(&net, &DrivingBlock::Buffers, &cfg) * 0.75;
     let base = generate_constrained(&net, bound, &cfg);
-    c.bench_function("state_holding_s27_smoke", |b| {
-        b.iter(|| black_box(improve_with_holding(&net, bound, &cfg, &base)))
+    bench("state_holding_s27_smoke", || {
+        black_box(improve_with_holding(&net, bound, &cfg, &base))
     });
-}
 
-fn bench_tpdf_pipeline(c: &mut Criterion) {
-    let net = s27();
     let faults = tpdf_list(&enumerate_paths(&net, usize::MAX));
-    let cfg = TpdfConfig::default();
-    c.bench_function("tpdf_pipeline_s27", |b| {
-        b.iter(|| black_box(run_pipeline(&net, &faults, &cfg)))
+    let tpdf_cfg = TpdfConfig::default();
+    bench("tpdf_pipeline_s27", || {
+        black_box(run_pipeline(&net, &faults, &tpdf_cfg))
     });
 }
-
-criterion_group!(
-    benches,
-    bench_unconstrained,
-    bench_constrained,
-    bench_holding,
-    bench_tpdf_pipeline
-);
-criterion_main!(benches);

@@ -4,8 +4,8 @@
 
 use fbt_bench::{pct, Scale, Table};
 use fbt_bist::{cube, Tpg, TpgSpec};
-use fbt_fault::sim::FaultSim;
 use fbt_fault::{all_transition_faults, collapse};
+use fbt_fault::{FaultSimEngine, PackedParallelSim};
 use fbt_netlist::rng::Rng;
 use fbt_sim::seq::simulate_sequence;
 use fbt_sim::{Bits, Trit};
@@ -31,7 +31,7 @@ fn main() {
                 cube: c,
             };
             let mut rng = Rng::new(cfg.master_seed);
-            let mut fsim = FaultSim::new(&net);
+            let mut fsim = PackedParallelSim::new(&net);
             let mut detected = vec![false; faults.len()];
             for _ in 0..8 {
                 let pis = Tpg::new(spec.clone(), rng.next_u64()).sequence(cfg.seq_len);

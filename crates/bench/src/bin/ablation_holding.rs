@@ -26,7 +26,13 @@ fn main() {
         bound * 100.0
     );
     let mut t = Table::new(&[
-        "h (hold every 2^h)", "selection", "H", "Nh", "Nbits", "FC Imp. %", "Final FC %",
+        "h (hold every 2^h)",
+        "selection",
+        "H",
+        "Nh",
+        "Nbits",
+        "FC Imp. %",
+        "Final FC %",
     ]);
     for h in [1u32, 2, 3] {
         for tree in [2u32, 3] {
@@ -36,8 +42,14 @@ fn main() {
                 ..base_cfg.clone()
             };
             for (label, out) in [
-                ("tree (§4.5.2)", improve_with_holding(&net, bound, &cfg, &base)),
-                ("greedy (§5.1)", improve_with_holding_greedy(&net, bound, &cfg, &base)),
+                (
+                    "tree (§4.5.2)",
+                    improve_with_holding(&net, bound, &cfg, &base),
+                ),
+                (
+                    "greedy (§5.1)",
+                    improve_with_holding_greedy(&net, bound, &cfg, &base),
+                ),
             ] {
                 t.row(vec![
                     h.to_string(),

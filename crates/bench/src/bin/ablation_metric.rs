@@ -7,8 +7,8 @@ use fbt_bench::{pct, Scale, Table};
 use fbt_core::driver::{functional_sequences, DrivingBlock};
 use fbt_core::stp::StpLibrary;
 use fbt_core::{
-    estimate_overtesting, generate_constrained, generate_constrained_with_library,
-    DeviationMetric, FunctionalBistConfig,
+    estimate_overtesting, generate_constrained, generate_constrained_with_library, DeviationMetric,
+    FunctionalBistConfig,
 };
 use fbt_sim::Bits;
 
@@ -28,15 +28,20 @@ fn main() {
         _ => vec!["s298", "s386", "s953"],
     };
     let mut t = Table::new(&[
-        "Circuit", "metric", "bound %", "Nseeds", "Ntests", "SWA %", "FC %",
+        "Circuit",
+        "metric",
+        "bound %",
+        "Nseeds",
+        "Ntests",
+        "SWA %",
+        "FC %",
         "non-func trans %",
     ]);
     for name in circuits {
         let net = fbt_bench::circuit(scale, name);
         let seqs = functional_sequences(&net, &DrivingBlock::Buffers, &lib_cfg);
         let lib = StpLibrary::collect(&net, &Bits::zeros(net.num_dffs()), &seqs);
-        let bound =
-            fbt_sim::activity::peak_activity(&net, &Bits::zeros(net.num_dffs()), &seqs);
+        let bound = fbt_sim::activity::peak_activity(&net, &Bits::zeros(net.num_dffs()), &seqs);
 
         let swa_out = generate_constrained(&net, bound, &cfg);
         let swa_residue = estimate_overtesting(&net, &swa_out, &cfg, &lib);

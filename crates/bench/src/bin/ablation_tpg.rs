@@ -8,8 +8,8 @@
 
 use fbt_bench::{pct, Scale, Table};
 use fbt_bist::{cube, Tpg, Tpg73, TpgSpec, WeightedTpg};
-use fbt_fault::sim::FaultSim;
 use fbt_fault::{all_transition_faults, collapse};
+use fbt_fault::{FaultSimEngine, PackedParallelSim};
 use fbt_netlist::rng::Rng;
 use fbt_sim::seq::simulate_sequence;
 use fbt_sim::Bits;
@@ -22,9 +22,7 @@ fn main() {
         _ => vec!["s298", "s953", "s1196", "spi"],
     };
     let n_seeds = 8;
-    let mut t = Table::new(&[
-        "Circuit", "TPG", "LFSR+SR bits", "Ntests", "FC %",
-    ]);
+    let mut t = Table::new(&["Circuit", "TPG", "LFSR+SR bits", "Ntests", "FC %"]);
     for name in circuits {
         let net = fbt_bench::circuit(scale, name);
         let c = cube::input_cube(&net);
@@ -38,7 +36,7 @@ fn main() {
 
         let mut run = |label: &str, bits: usize, mut gen: Box<dyn FnMut(u64) -> Vec<Bits>>| {
             let mut rng = Rng::new(cfg.master_seed);
-            let mut fsim = FaultSim::new(&net);
+            let mut fsim = PackedParallelSim::new(&net);
             let mut detected = vec![false; faults.len()];
             let mut ntests = 0usize;
             for _ in 0..n_seeds {

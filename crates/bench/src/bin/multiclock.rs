@@ -6,8 +6,8 @@
 use fbt_bench::{pct, Scale, Table};
 use fbt_bist::{cube, Tpg, TpgSpec};
 use fbt_core::domains::{classify_faults, domain_tests, round_robin, simulate_multi_rate};
-use fbt_fault::sim::FaultSim;
 use fbt_fault::{all_transition_faults, collapse};
+use fbt_fault::{FaultSimEngine, PackedParallelSim};
 use fbt_netlist::rng::Rng;
 use fbt_sim::Bits;
 
@@ -19,7 +19,12 @@ fn main() {
         _ => vec!["s298", "s953", "spi"],
     };
     let mut t = Table::new(&[
-        "Circuit", "domains", "intra faults", "inter faults", "Ntests", "FC (all) %",
+        "Circuit",
+        "domains",
+        "intra faults",
+        "inter faults",
+        "Ntests",
+        "FC (all) %",
     ]);
     for name in circuits {
         let net = fbt_bench::circuit(scale, name);
@@ -35,13 +40,12 @@ fn main() {
                 cube: cube::input_cube(&net),
             };
             let mut rng = Rng::new(cfg.master_seed);
-            let mut fsim = FaultSim::new(&net);
+            let mut fsim = PackedParallelSim::new(&net);
             let mut detected = vec![false; faults.len()];
             let mut ntests = 0usize;
             for _ in 0..6 {
                 let pis = Tpg::new(spec.clone(), rng.next_u64()).sequence(cfg.seq_len);
-                let traj =
-                    simulate_multi_rate(&net, &domains, &Bits::zeros(net.num_dffs()), &pis);
+                let traj = simulate_multi_rate(&net, &domains, &Bits::zeros(net.num_dffs()), &pis);
                 for d in 0..n_domains {
                     let tests = domain_tests(&domains, d, &pis, &traj);
                     ntests += tests.len();

@@ -6,7 +6,7 @@ use fbt_bench::{pct, Scale, Table};
 use fbt_core::constrained::replay_tests;
 use fbt_core::driver::DrivingBlock;
 use fbt_core::{generate_constrained, swafunc};
-use fbt_fault::sim::{n_detect_coverage, FaultSim};
+use fbt_fault::{n_detect_coverage, FaultSimEngine, PackedParallelSim};
 
 fn main() {
     let scale = Scale::from_env();
@@ -25,11 +25,13 @@ fn main() {
         let bound = swafunc(&net, &DrivingBlock::Buffers, &cfg);
         let out = generate_constrained(&net, bound, &cfg);
         let tests = replay_tests(&net, &out, &cfg);
-        let mut fsim = FaultSim::new(&net);
-        let counts = fsim.run_n_detect(&tests, &out.faults, 10);
+        let mut fsim = PackedParallelSim::new(&net);
+        let counts = fsim.n_detect_profile(&tests, &out.faults, 10);
         let mut row = vec![net.name().to_string(), tests.len().to_string()];
         row.extend(ns.iter().map(|&n| pct(n_detect_coverage(&counts, n))));
         t.row(row);
     }
-    t.print(&format!("N-detection profile of on-chip test sets [{scale:?}]"));
+    t.print(&format!(
+        "N-detection profile of on-chip test sets [{scale:?}]"
+    ));
 }

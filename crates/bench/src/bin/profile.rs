@@ -11,11 +11,28 @@ use fbt_sim::reset::greedy_synchronizing_sequence;
 fn main() {
     let scale = Scale::from_env();
     let names = [
-        "s298", "s953", "s1423", "s13207", "b14", "spi", "wb_dma", "systemcdes", "aes_core",
+        "s298",
+        "s953",
+        "s1423",
+        "s13207",
+        "b14",
+        "spi",
+        "wb_dma",
+        "systemcdes",
+        "aes_core",
     ];
     let mut t = Table::new(&[
-        "Circuit", "PI", "PO", "FF", "gates", "depth", "mean FO", "reconv stems",
-        "dead", "Np", "greedy sync %",
+        "Circuit",
+        "PI",
+        "PO",
+        "FF",
+        "gates",
+        "depth",
+        "mean FO",
+        "reconv stems",
+        "dead",
+        "Np",
+        "greedy sync %",
     ]);
     for name in names {
         let net = fbt_bench::circuit(scale, name);
@@ -36,7 +53,9 @@ fn main() {
             pct(100.0 * sync.synchronized as f64 / net.num_dffs().max(1) as f64),
         ]);
     }
-    t.print(&format!("Structural profile of the benchmark catalog [{scale:?}]"));
+    t.print(&format!(
+        "Structural profile of the benchmark catalog [{scale:?}]"
+    ));
     println!(
         "\n(\"greedy sync %\": state variables a 6-vector greedy synchronizing\n\
          sequence can initialize from the unknown power-up state; the paper's\n\

@@ -5,7 +5,12 @@ use fbt_bench::{ch2, fmt_duration, Scale, Table};
 fn main() {
     let scale = Scale::from_env();
     let mut t = Table::new(&[
-        "Circuit", "No. of faults", "No. of Det.", "No. of Undet.", "No. of Abr.", "Run time",
+        "Circuit",
+        "No. of faults",
+        "No. of Det.",
+        "No. of Undet.",
+        "No. of Abr.",
+        "Run time",
     ]);
     for run in ch2::run_large(scale) {
         t.row(vec![

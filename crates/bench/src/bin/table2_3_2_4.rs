@@ -4,11 +4,15 @@ use fbt_atpg::tpdf::SubProcedure;
 use fbt_bench::{ch2, Scale, Table};
 
 fn print_counts(title: &str, runs: &[ch2::Ch2Run]) {
-    let mut t = Table::new(&["Circuit", "Prep. Proc.", "FSim Proc.", "Heur. Proc.", "Bran. Proc."]);
+    let mut t = Table::new(&[
+        "Circuit",
+        "Prep. Proc.",
+        "FSim Proc.",
+        "Heur. Proc.",
+        "Bran. Proc.",
+    ]);
     for run in runs {
-        let det = |p: SubProcedure| {
-            run.report.stats.detected.get(&p).copied().unwrap_or(0)
-        };
+        let det = |p: SubProcedure| run.report.stats.detected.get(&p).copied().unwrap_or(0);
         let undet_prep = run
             .report
             .stats

@@ -6,7 +6,12 @@ use std::time::Duration;
 
 fn print_times(title: &str, runs: &[ch2::Ch2Run]) {
     let mut t = Table::new(&[
-        "Circuit", "TG for Tran.", "Prep. Proc.", "FSim Proc.", "Heur. Proc.", "Bran. Proc.",
+        "Circuit",
+        "TG for Tran.",
+        "Prep. Proc.",
+        "FSim Proc.",
+        "Heur. Proc.",
+        "Bran. Proc.",
     ]);
     for run in runs {
         let time = |p: SubProcedure| {

@@ -17,13 +17,23 @@ fn main() {
         _ => 16,
     };
     let sel = ch3::selection(&net, &lib, n);
-    let mut t = Table::new(&["Path delay fault", "orignial (ns)", "final (ns)", "new path"]);
+    let mut t = Table::new(&[
+        "Path delay fault",
+        "orignial (ns)",
+        "final (ns)",
+        "new path",
+    ]);
     for (i, f) in sel.target.iter().enumerate() {
         t.row(vec![
             format!("fp{}", i + 1),
             format!("{:.3}", f.original_delay),
             format!("{:.3}", f.final_delay),
-            if f.added_during_recalculation { "yes" } else { "-" }.to_string(),
+            if f.added_during_recalculation {
+                "yes"
+            } else {
+                "-"
+            }
+            .to_string(),
         ]);
     }
     t.print(&format!(

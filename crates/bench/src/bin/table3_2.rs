@@ -23,5 +23,7 @@ fn main() {
         t.row(original);
         t.row(fin);
     }
-    t.print(&format!("Table 3.2: path group size comparison [{scale:?}]"));
+    t.print(&format!(
+        "Table 3.2: path group size comparison [{scale:?}]"
+    ));
 }

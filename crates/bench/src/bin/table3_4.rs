@@ -24,15 +24,19 @@ fn main() {
     );
     let unit = lib.unit();
     let mut t = Table::new(&[
-        "Path delay fault", "original", "final", "after TG", "diff", "diff_unit",
+        "Path delay fault",
+        "original",
+        "final",
+        "after TG",
+        "diff",
+        "diff_unit",
     ]);
     let mut shown = 0usize;
     for (i, f) in sel.target.iter().enumerate() {
         if shown >= 10 {
             break;
         }
-        let Some(after) = ch3::delay_after_test_generation(&net, &lib, &f.fault, &mut podem)
-        else {
+        let Some(after) = ch3::delay_after_test_generation(&net, &lib, &f.fault, &mut podem) else {
             continue;
         };
         shown += 1;

@@ -42,8 +42,16 @@ fn main() {
                 }
             }
         }
-        let p1 = if tested > 0 { 100.0 * differs as f64 / tested as f64 } else { 0.0 };
-        let p2 = if differs > 0 { 100.0 * closer as f64 / differs as f64 } else { 0.0 };
+        let p1 = if tested > 0 {
+            100.0 * differs as f64 / tested as f64
+        } else {
+            0.0
+        };
+        let p2 = if differs > 0 {
+            100.0 * closer as f64 / differs as f64
+        } else {
+            0.0
+        };
         t.row(vec![name.to_string(), pct(p1), pct(p2)]);
     }
     t.print(&format!("Table 3.5: path delay comparison [{scale:?}]"));

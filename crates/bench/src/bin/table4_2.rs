@@ -6,8 +6,18 @@ use fbt_core::experiment::circuit_params;
 fn main() {
     let scale = Scale::from_env();
     let names = [
-        "s35932", "s38584", "b14", "b20", "spi", "wb_dma", "systemcaes", "systemcdes",
-        "des_area", "aes_core", "wb_conmax", "des_perf",
+        "s35932",
+        "s38584",
+        "b14",
+        "b20",
+        "spi",
+        "wb_dma",
+        "systemcaes",
+        "systemcdes",
+        "des_area",
+        "aes_core",
+        "wb_conmax",
+        "des_perf",
     ];
     let mut t = Table::new(&["Circuit", "NPO", "Nin", "Np", "NSV"]);
     for name in names {
@@ -21,5 +31,7 @@ fn main() {
             p.nsv.to_string(),
         ]);
     }
-    t.print(&format!("Table 4.2: parameters for benchmark circuits [{scale:?}]"));
+    t.print(&format!(
+        "Table 4.2: parameters for benchmark circuits [{scale:?}]"
+    ));
 }

@@ -6,8 +6,19 @@ use fbt_bench::{ch4, pct, Scale, Table};
 fn main() {
     let scale = Scale::from_env();
     let mut t = Table::new(&[
-        "Circuit", "Lsc", "Driving block", "Nmulti", "Nsegmax", "Lmax", "SWAfunc %", "Nseeds",
-        "Ntests", "SWA %", "FC %", "HW Area (um2)", "Area Over. %",
+        "Circuit",
+        "Lsc",
+        "Driving block",
+        "Nmulti",
+        "Nsegmax",
+        "Lmax",
+        "SWAfunc %",
+        "Nseeds",
+        "Ntests",
+        "SWA %",
+        "FC %",
+        "HW Area (um2)",
+        "Area Over. %",
     ]);
     for (target_name, driver_names) in ch4::pairs(scale) {
         let target = fbt_bench::circuit(scale, target_name);

@@ -7,8 +7,17 @@ fn main() {
     let scale = Scale::from_env();
     let threshold = 90.0; // paper: holding applied where FC < 90%
     let mut t = Table::new(&[
-        "Circuit", "Driving block", "Nh", "Nbits", "Nseeds", "Ntests", "SWA %", "FC Imp. %",
-        "Final FC %", "HW Area (um2)", "Area Over. %",
+        "Circuit",
+        "Driving block",
+        "Nh",
+        "Nbits",
+        "Nseeds",
+        "Ntests",
+        "SWA %",
+        "FC Imp. %",
+        "Final FC %",
+        "HW Area (um2)",
+        "Area Over. %",
     ]);
     for (target_name, driver_names) in ch4::pairs(scale) {
         let target = fbt_bench::circuit(scale, target_name);

@@ -29,8 +29,8 @@ pub fn small_circuits(scale: Scale) -> Vec<&'static str> {
             "s298", "s344", "s349", "s382", "s386", "s444", "s510", "s526", "s820", "s832",
         ],
         Scale::Paper => vec![
-            "s298", "s344", "s349", "s382", "s386", "s444", "s510", "s526", "s641", "s713",
-            "s820", "s832", "s953", "s1196", "s1238", "s1488", "s1494",
+            "s298", "s344", "s349", "s382", "s386", "s444", "s510", "s526", "s641", "s713", "s820",
+            "s832", "s953", "s1196", "s1238", "s1488", "s1494",
         ],
     }
 }

@@ -86,7 +86,15 @@ pub fn delay_after_test_generation(
         // stable side-inputs' load still present — fall back to the final
         // (necessary-assignment) delay semantics by ignoring the constraint
         // on the on-path lines themselves.
-        .or_else(|| path_delay(net, lib, &fault.path, fault.source_transition, &Unconstrained))
+        .or_else(|| {
+            path_delay(
+                net,
+                lib,
+                &fault.path,
+                fault.source_transition,
+                &Unconstrained,
+            )
+        })
 }
 
 #[cfg(test)]

@@ -37,7 +37,9 @@ pub enum Scale {
 impl Scale {
     /// Read the scale from `argv[1]` or `FBT_SCALE` (default: `default`).
     pub fn from_env() -> Scale {
-        let arg = std::env::args().nth(1).or_else(|| std::env::var("FBT_SCALE").ok());
+        let arg = std::env::args()
+            .nth(1)
+            .or_else(|| std::env::var("FBT_SCALE").ok());
         match arg.as_deref() {
             Some("smoke") => Scale::Smoke,
             Some("paper") => Scale::Paper,
@@ -124,8 +126,8 @@ impl Scale {
 
 /// Generate a catalog circuit at this scale.
 pub fn circuit(scale: Scale, name: &str) -> Netlist {
-    let spec = fbt_netlist::synth::find(name)
-        .unwrap_or_else(|| panic!("unknown catalog circuit {name}"));
+    let spec =
+        fbt_netlist::synth::find(name).unwrap_or_else(|| panic!("unknown catalog circuit {name}"));
     fbt_netlist::synth::generate(&scaled_spec(scale, &spec))
 }
 
@@ -174,7 +176,10 @@ impl Table {
             println!("{}", cols.join("  "));
         };
         line(&self.header);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for r in &self.rows {
             line(r);
         }

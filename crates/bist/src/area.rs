@@ -162,8 +162,7 @@ impl BistHardware {
         // State holding: set counter handled above only if used; price the
         // per-set clock-gating cells, the decoder and the set counter.
         let hold = if self.hold_sets > 0 {
-            let set_bits =
-                (usize::BITS - self.hold_sets.leading_zeros()) as usize;
+            let set_bits = (usize::BITS - self.hold_sets.leading_zeros()) as usize;
             counter(set_bits)
                 + self.hold_sets as f64 * (lib.clock_gate + lib.and2)
                 + self.hold_sets as f64 * lib.and2 // decoder outputs
@@ -206,7 +205,10 @@ mod tests {
         let a0 = base.area(&LIB);
         let a1 = held.area(&LIB);
         assert!(a1 > a0);
-        assert!(a1 < a0 * 1.25, "holding overhead should be small: {a0} -> {a1}");
+        assert!(
+            a1 < a0 * 1.25,
+            "holding overhead should be small: {a0} -> {a1}"
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ mod tests {
                 a
             })
             .collect();
-        assert_eq!(pattern, [true, false, true, false, true, false, true, false]);
+        assert_eq!(
+            pattern,
+            [true, false, true, false, true, false, true, false]
+        );
     }
 
     #[test]
@@ -122,7 +125,11 @@ mod tests {
             let mut c = CycleCounter::new();
             for _ in 0..64 {
                 if c.hold_enable(h) {
-                    assert!(c.count().is_multiple_of(2), "hold at odd cycle {}", c.count());
+                    assert!(
+                        c.count().is_multiple_of(2),
+                        "hold at odd cycle {}",
+                        c.count()
+                    );
                 }
                 c.tick();
             }

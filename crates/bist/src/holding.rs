@@ -118,10 +118,7 @@ mod tests {
 
     #[test]
     fn masks_are_one_hot_per_set() {
-        let ctl = HoldController::new(
-            6,
-            vec![HoldSet::new(vec![0, 2]), HoldSet::new(vec![5])],
-        );
+        let ctl = HoldController::new(6, vec![HoldSet::new(vec![0, 2]), HoldSet::new(vec![5])]);
         assert_eq!(ctl.mask().to_string(), "101000");
         assert_eq!(ctl.num_sets(), 2);
         assert_eq!(ctl.total_bits(), 3);
@@ -129,10 +126,7 @@ mod tests {
 
     #[test]
     fn advance_walks_sets_then_disables() {
-        let mut ctl = HoldController::new(
-            4,
-            vec![HoldSet::new(vec![0]), HoldSet::new(vec![1])],
-        );
+        let mut ctl = HoldController::new(4, vec![HoldSet::new(vec![0]), HoldSet::new(vec![1])]);
         assert_eq!(ctl.mask().to_string(), "1000");
         assert!(ctl.advance());
         assert_eq!(ctl.mask().to_string(), "0100");
@@ -144,10 +138,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlap")]
     fn overlapping_sets_rejected() {
-        let _ = HoldController::new(
-            4,
-            vec![HoldSet::new(vec![0, 1]), HoldSet::new(vec![1, 2])],
-        );
+        let _ = HoldController::new(4, vec![HoldSet::new(vec![0, 1]), HoldSet::new(vec![1, 2])]);
     }
 
     #[test]

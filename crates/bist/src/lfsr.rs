@@ -102,7 +102,11 @@ impl Lfsr {
     /// Load a new seed (forced non-zero), e.g. between primary-input
     /// segments of a multi-segment sequence.
     pub fn reseed(&mut self, seed: u64) {
-        let mask = if self.width == 64 { !0 } else { (1u64 << self.width) - 1 };
+        let mask = if self.width == 64 {
+            !0
+        } else {
+            (1u64 << self.width) - 1
+        };
         self.state = seed & mask;
         if self.state == 0 {
             self.state = 1;
@@ -118,7 +122,11 @@ impl Lfsr {
             .iter()
             .fold(0u64, |acc, &t| acc ^ (self.state >> (t - 1)));
         self.state = ((self.state << 1) | (feedback & 1))
-            & if self.width == 64 { !0 } else { (1u64 << self.width) - 1 };
+            & if self.width == 64 {
+                !0
+            } else {
+                (1u64 << self.width) - 1
+            };
         out
     }
 

@@ -26,9 +26,9 @@ pub mod area;
 pub mod controller;
 mod counter;
 pub mod cube;
+pub mod holding;
 mod lfsr;
 mod misr;
-pub mod holding;
 pub mod scan;
 pub mod schedule;
 mod tpg;

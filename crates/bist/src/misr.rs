@@ -46,7 +46,11 @@ impl Misr {
 
     /// Absorb one response vector.
     pub fn absorb(&mut self, response: &Bits) {
-        let mask = if self.width == 64 { !0 } else { (1u64 << self.width) - 1 };
+        let mask = if self.width == 64 {
+            !0
+        } else {
+            (1u64 << self.width) - 1
+        };
         let feedback = self
             .taps
             .iter()
@@ -122,7 +126,7 @@ mod tests {
     fn folding_wide_responses() {
         let mut m = Misr::new(4);
         m.absorb(&Bits::from_str01("100010001000")); // 12 bits folded into 4
-        // bits 0, 4, 8 are set -> all fold onto stage 0 -> cancel to 1 bit.
+                                                     // bits 0, 4, 8 are set -> all fold onto stage 0 -> cancel to 1 bit.
         assert_eq!(m.signature(), 0b0001); // three XORs of stage 0 = 1
     }
 

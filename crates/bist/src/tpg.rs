@@ -78,8 +78,7 @@ impl Tpg {
     ///
     /// Panics if the LFSR width is unsupported.
     pub fn new(spec: TpgSpec, seed: u64) -> Self {
-        let lfsr = Lfsr::new(spec.lfsr_width, seed)
-            .expect("TPG requires a supported LFSR width");
+        let lfsr = Lfsr::new(spec.lfsr_width, seed).expect("TPG requires a supported LFSR width");
         let mut alloc = Vec::with_capacity(spec.num_inputs());
         let mut next = 0usize;
         for c in &spec.cube {
@@ -125,9 +124,7 @@ impl Tpg {
     pub fn next_vector(&mut self) -> Bits {
         self.shift_once();
         let mut out = Bits::zeros(self.spec.num_inputs());
-        for (i, (&c, &(start, width))) in
-            self.spec.cube.iter().zip(&self.alloc).enumerate()
-        {
+        for (i, (&c, &(start, width))) in self.spec.cube.iter().zip(&self.alloc).enumerate() {
             let bits = &self.shift_reg[start..start + width];
             let v = match c {
                 Trit::X => bits[0],

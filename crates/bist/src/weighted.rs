@@ -62,7 +62,10 @@ impl WeightedTpg {
     /// The weight set realising the same biases as a cube (the apples-to-
     /// apples ablation configuration).
     pub fn from_cube(cube: &[Trit], seed: u64) -> Self {
-        WeightedTpg::new(cube.iter().map(|&c| Weight::from_cube_entry(c)).collect(), seed)
+        WeightedTpg::new(
+            cube.iter().map(|&c| Weight::from_cube_entry(c)).collect(),
+            seed,
+        )
     }
 
     /// Advance and produce one primary-input vector: each input compares a

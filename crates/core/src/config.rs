@@ -109,7 +109,10 @@ impl FunctionalBistConfig {
     /// Panics on invalid configurations; called by the generation entry
     /// points.
     pub fn validate(&self) {
-        assert!(self.seq_len >= 2 && self.seq_len.is_multiple_of(2), "L must be even and >= 2");
+        assert!(
+            self.seq_len >= 2 && self.seq_len.is_multiple_of(2),
+            "L must be even and >= 2"
+        );
         assert!(self.max_seeds > 0, "seed budget must be positive");
         assert!(self.useless_seed_limit > 0, "U must be positive");
         assert!(self.segment_failure_limit > 0, "R must be positive");

@@ -13,8 +13,8 @@
 //! reachable.
 
 use fbt_bist::{cube, Tpg, TpgSpec};
-use fbt_fault::sim::FaultSim;
 use fbt_fault::{all_transition_faults, collapse, TransitionFault};
+use fbt_fault::{FaultSimEngine, PackedParallelSim};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
 use fbt_sim::seq::simulate_sequence;
@@ -218,7 +218,10 @@ pub fn generate_constrained_from(
     cfg: &FunctionalBistConfig,
     initial_states: &[Bits],
 ) -> ConstrainedOutcome {
-    assert!(!initial_states.is_empty(), "need at least one initial state");
+    assert!(
+        !initial_states.is_empty(),
+        "need at least one initial state"
+    );
     for s in initial_states {
         assert_eq!(s.len(), net.num_dffs(), "initial state width mismatch");
     }
@@ -265,7 +268,7 @@ fn run(
     };
     let faults = collapse(net, &all_transition_faults(net));
     let mut detected = vec![false; faults.len()];
-    let mut fsim = FaultSim::new(net);
+    let mut fsim = PackedParallelSim::new(net);
     let mut rng = Rng::new(cfg.master_seed);
 
     let mut sequences: Vec<MultiSegmentSequence> = Vec::new();
@@ -425,7 +428,7 @@ mod tests {
         let tests = replay_tests(&net, &out, &cfg);
         assert_eq!(tests.len(), out.tests_applied);
         let mut detected = vec![false; out.faults.len()];
-        let mut fsim = FaultSim::new(&net);
+        let mut fsim = PackedParallelSim::new(&net);
         fsim.run(&tests, &out.faults, &mut detected);
         assert_eq!(detected, out.detected);
     }
@@ -437,7 +440,10 @@ mod tests {
         let out = generate_constrained(&net, 1.0, &cfg);
         assert_eq!(
             out.nseeds(),
-            out.sequences.iter().map(|s| s.num_segments()).sum::<usize>()
+            out.sequences
+                .iter()
+                .map(|s| s.num_segments())
+                .sum::<usize>()
         );
         assert!(out.nsegmax() <= out.nseeds());
         assert_eq!(out.nmulti(), out.sequences.len());
@@ -454,8 +460,7 @@ mod tests {
             fbt_sim::Bits::from_str01("1010"),
             fbt_sim::Bits::from_str01("0101"),
         ];
-        let traj =
-            fbt_sim::seq::simulate_sequence(&net, &fbt_sim::Bits::zeros(3), &pis);
+        let traj = fbt_sim::seq::simulate_sequence(&net, &fbt_sim::Bits::zeros(3), &pis);
         let inits = vec![fbt_sim::Bits::zeros(3), traj.states[2].clone()];
         let out = generate_constrained_from(&net, 1.0, &cfg, &inits);
         assert!(out.peak_swa <= 1.0);
@@ -467,7 +472,7 @@ mod tests {
         let tests = replay_tests(&net, &out, &cfg);
         assert_eq!(tests.len(), out.tests_applied);
         let mut detected = vec![false; out.faults.len()];
-        let mut fsim = FaultSim::new(&net);
+        let mut fsim = PackedParallelSim::new(&net);
         fsim.run(&tests, &out.faults, &mut detected);
         assert_eq!(detected, out.detected);
     }

@@ -7,7 +7,7 @@
 //! shape of this curve; exposing it lets a user pick a budget and lets the
 //! experiments show saturation explicitly.
 
-use fbt_fault::sim::FaultSim;
+use fbt_fault::{FaultSimEngine, PackedParallelSim};
 use fbt_netlist::Netlist;
 
 use crate::constrained::{replay_tests, ConstrainedOutcome};
@@ -38,7 +38,7 @@ pub fn coverage_curve(
 ) -> Vec<CurvePoint> {
     assert!(stride > 0, "stride must be positive");
     let tests = replay_tests(net, outcome, cfg);
-    let mut fsim = FaultSim::new(net);
+    let mut fsim = PackedParallelSim::new(net);
     let mut detected = vec![false; outcome.faults.len()];
     let mut curve = Vec::with_capacity(tests.len() / stride + 2);
     curve.push(CurvePoint {
@@ -75,7 +75,11 @@ mod tests {
     use crate::generate_constrained;
     use fbt_netlist::s27;
 
-    fn outcome() -> (fbt_netlist::Netlist, FunctionalBistConfig, ConstrainedOutcome) {
+    fn outcome() -> (
+        fbt_netlist::Netlist,
+        FunctionalBistConfig,
+        ConstrainedOutcome,
+    ) {
         let net = s27();
         let cfg = FunctionalBistConfig::smoke();
         let bound = swafunc(&net, &DrivingBlock::Buffers, &cfg);

@@ -309,7 +309,8 @@ mod tests {
         let tests = domain_tests(&domains, 0, &p, &traj);
         let faults = all_transition_faults(&net);
         let mut detected = vec![false; faults.len()];
-        let mut fsim = fbt_fault::sim::FaultSim::new(&net);
+        use fbt_fault::FaultSimEngine;
+        let mut fsim = fbt_fault::SerialSim::new(&net);
         fsim.run_two_pattern(&tests, &faults, &mut detected);
         assert!(detected.iter().any(|&d| d));
     }

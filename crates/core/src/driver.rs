@@ -93,7 +93,9 @@ pub fn functional_sequences(
                     traj.outputs
                         .iter()
                         .map(|po| {
-                            (0..target.num_inputs()).map(|i| po.get(i)).collect::<Bits>()
+                            (0..target.num_inputs())
+                                .map(|i| po.get(i))
+                                .collect::<Bits>()
                         })
                         .collect()
                 })
@@ -171,6 +173,9 @@ mod tests {
         let block = synth::generate(&synth::find("s298").unwrap());
         let seqs = functional_sequences(&target, &DrivingBlock::Circuit(block.clone()), &cfg);
         assert_eq!(seqs.len(), cfg.func_sequences);
-        assert!(seqs.iter().flatten().all(|v| v.len() == target.num_inputs()));
+        assert!(seqs
+            .iter()
+            .flatten()
+            .all(|v| v.len() == target.num_inputs()));
     }
 }

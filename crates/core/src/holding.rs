@@ -11,8 +11,8 @@
 
 use fbt_bist::holding::HoldSet;
 use fbt_bist::{cube, Tpg, TpgSpec};
-use fbt_fault::sim::FaultSim;
 use fbt_fault::TransitionFault;
+use fbt_fault::{FaultSimEngine, PackedParallelSim};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
 use fbt_sim::seq::SeqSim;
@@ -126,7 +126,7 @@ fn construct(
     spec: &TpgSpec,
     faults: &[TransitionFault],
     detected: &mut [bool],
-    fsim: &mut FaultSim<'_>,
+    fsim: &mut dyn FaultSimEngine,
     rng: &mut Rng,
 ) -> (Vec<MultiSegmentSequence>, usize, f64) {
     let h = cfg.hold_period_log2;
@@ -218,7 +218,7 @@ pub fn improve_with_holding(
         m: cfg.m,
         cube: cube::input_cube(net),
     };
-    let mut fsim = FaultSim::new(net);
+    let mut fsim = PackedParallelSim::new(net);
     let n_ff = net.num_dffs();
     let mut rng = Rng::new(cfg.master_seed ^ 0x401D);
 
@@ -255,7 +255,16 @@ pub fn improve_with_holding(
         let mut probe_rng = Rng::new(cfg.master_seed ^ (0xD37 + i as u64));
         let before = scratch.iter().filter(|&&d| d).count();
         construct(
-            net, swafunc, cfg, 1, 1, &mask, &spec, &base.faults, &mut scratch, &mut fsim,
+            net,
+            swafunc,
+            cfg,
+            1,
+            1,
+            &mask,
+            &spec,
+            &base.faults,
+            &mut scratch,
+            &mut fsim,
             &mut probe_rng,
         );
         det[i] = scratch.iter().filter(|&&d| d).count() - before;
@@ -353,7 +362,7 @@ pub fn improve_with_holding_greedy(
         m: cfg.m,
         cube: cube::input_cube(net),
     };
-    let mut fsim = FaultSim::new(net);
+    let mut fsim = PackedParallelSim::new(net);
     let n_ff = net.num_dffs();
     let mut rng = Rng::new(cfg.master_seed ^ 0x93EED);
 
@@ -385,7 +394,16 @@ pub fn improve_with_holding_greedy(
             let before = scratch.iter().filter(|&&d| d).count();
             let mut probe_rng = Rng::new(cfg.master_seed ^ (0x6EED + gi as u64));
             construct(
-                net, swafunc, cfg, 1, 1, &mask, &spec, &base.faults, &mut scratch, &mut fsim,
+                net,
+                swafunc,
+                cfg,
+                1,
+                1,
+                &mask,
+                &spec,
+                &base.faults,
+                &mut scratch,
+                &mut fsim,
                 &mut probe_rng,
             );
             let gain = scratch.iter().filter(|&&d| d).count() - before;
@@ -442,7 +460,12 @@ mod tests {
     use crate::generate_constrained;
     use fbt_netlist::s27;
 
-    fn base_outcome() -> (fbt_netlist::Netlist, f64, FunctionalBistConfig, ConstrainedOutcome) {
+    fn base_outcome() -> (
+        fbt_netlist::Netlist,
+        f64,
+        FunctionalBistConfig,
+        ConstrainedOutcome,
+    ) {
         let net = s27();
         let cfg = FunctionalBistConfig::smoke();
         // A deliberately tight bound so functional broadside tests leave
@@ -483,7 +506,10 @@ mod tests {
                 seen[m] = true;
             }
         }
-        assert_eq!(out.nbits(), out.sets.iter().map(HoldSet::len).sum::<usize>());
+        assert_eq!(
+            out.nbits(),
+            out.sets.iter().map(HoldSet::len).sum::<usize>()
+        );
     }
 
     #[test]
@@ -491,7 +517,9 @@ mod tests {
         let net = s27();
         let mut mask = Bits::zeros(3);
         mask.set(1, true);
-        let pis: Vec<Bits> = (0..8).map(|i| Bits::from_bools(&[i % 2 == 0, true, false, i % 3 == 0])).collect();
+        let pis: Vec<Bits> = (0..8)
+            .map(|i| Bits::from_bools(&[i % 2 == 0, true, false, i % 3 == 0]))
+            .collect();
         let start = Bits::from_str01("010");
         let (states, _) = simulate_holding(&net, &start, &pis, &mask, 1);
         // h = 1: every even cycle's update holds FF 1, so its value can only

@@ -24,8 +24,8 @@
 //!   future work (§5.1, \[90\]);
 //! * [`experiment`] — the harness producing the rows of Tables 4.2–4.4.
 
-pub mod constrained;
 mod config;
+pub mod constrained;
 pub mod curve;
 pub mod domains;
 pub mod driver;
@@ -43,6 +43,7 @@ pub use constrained::{
     ConstrainedOutcome, MultiSegmentSequence, Segment,
 };
 pub use driver::{swafunc, DrivingBlock};
+pub use fbt_netlist::Error;
 pub use holding::{improve_with_holding, improve_with_holding_greedy, HoldingOutcome};
 pub use overtest::{estimate_overtesting, OvertestReport};
 pub use session::{run_on_hardware, SessionResult};

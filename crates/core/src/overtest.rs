@@ -103,9 +103,7 @@ pub fn estimate_overtesting(
 mod tests {
     use super::*;
     use crate::driver::{functional_sequences, DrivingBlock};
-    use crate::{
-        generate_constrained, generate_constrained_with_library, DeviationMetric,
-    };
+    use crate::{generate_constrained, generate_constrained_with_library, DeviationMetric};
     use fbt_netlist::s27;
 
     #[test]

@@ -216,10 +216,8 @@ mod tests {
         let swa_rule = crate::constrained::SwaRule { bound: swa_bound };
         // On any candidate segment, the STP prefix cannot exceed the SWA
         // prefix computed from the library's own activity ceiling.
-        let mut tpg = fbt_bist::Tpg::new(
-            fbt_bist::TpgSpec::standard(vec![fbt_sim::Trit::X; 4]),
-            42,
-        );
+        let mut tpg =
+            fbt_bist::Tpg::new(fbt_bist::TpgSpec::standard(vec![fbt_sim::Trit::X; 4]), 42);
         for _ in 0..5 {
             let pis = tpg.sequence(40);
             let stp_len = lib.admissible_prefix(&net, &Bits::zeros(3), &pis);

@@ -11,8 +11,8 @@
 //! ones.
 
 use fbt_bist::{cube, Tpg, TpgSpec};
-use fbt_fault::sim::FaultSim;
 use fbt_fault::{all_transition_faults, collapse, TransitionFault};
+use fbt_fault::{FaultSimEngine, PackedParallelSim};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
 use fbt_sim::seq::simulate_sequence;
@@ -74,7 +74,7 @@ pub fn generate_unconstrained(net: &Netlist, cfg: &FunctionalBistConfig) -> Gene
     };
     let faults = collapse(net, &all_transition_faults(net));
     let mut detected = vec![false; faults.len()];
-    let mut fsim = FaultSim::new(net);
+    let mut fsim = PackedParallelSim::new(net);
     let mut rng = Rng::new(cfg.master_seed);
     let zero = Bits::zeros(net.num_dffs());
 
@@ -136,7 +136,11 @@ mod tests {
     fn s27_reaches_reasonable_coverage() {
         let net = s27();
         let out = generate_unconstrained(&net, &FunctionalBistConfig::smoke());
-        assert!(out.fault_coverage() > 40.0, "coverage {}", out.fault_coverage());
+        assert!(
+            out.fault_coverage() > 40.0,
+            "coverage {}",
+            out.fault_coverage()
+        );
         assert!(!out.seeds.is_empty());
         assert!(out.tests_applied > 0);
         assert!(out.peak_swa > 0.0 && out.peak_swa <= 1.0);
@@ -165,7 +169,7 @@ mod tests {
             cube: fbt_bist::cube::input_cube(&net),
         };
         let mut detected = vec![false; out.faults.len()];
-        let mut fsim = FaultSim::new(&net);
+        let mut fsim = PackedParallelSim::new(&net);
         let zero = Bits::zeros(net.num_dffs());
         for &seed in &out.seeds {
             let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);

@@ -1,6 +1,6 @@
 //! Broadside (launch-on-capture) two-pattern tests (paper §1.3, Fig. 1.10).
 
-use fbt_netlist::Netlist;
+use fbt_netlist::{Error, Netlist};
 use fbt_sim::{comb, Bits};
 
 /// A broadside test `<s1, v1, s2, v2>`.
@@ -28,10 +28,23 @@ impl BroadsideTest {
     ///
     /// # Panics
     ///
-    /// Panics if `v1` and `v2` have different widths.
+    /// Panics if `v1` and `v2` have different widths; use
+    /// [`BroadsideTest::try_new`] for a fallible version.
     pub fn new(scan_in: Bits, v1: Bits, v2: Bits) -> Self {
-        assert_eq!(v1.len(), v2.len(), "primary-input widths differ");
-        BroadsideTest { scan_in, v1, v2 }
+        Self::try_new(scan_in, v1, v2).expect("primary-input widths differ")
+    }
+
+    /// Construct a test, reporting mismatched primary-input widths as an
+    /// [`Error::WidthMismatch`] instead of panicking.
+    pub fn try_new(scan_in: Bits, v1: Bits, v2: Bits) -> Result<Self, Error> {
+        if v1.len() != v2.len() {
+            return Err(Error::WidthMismatch {
+                what: "broadside test primary inputs",
+                expected: v1.len(),
+                got: v2.len(),
+            });
+        }
+        Ok(BroadsideTest { scan_in, v1, v2 })
     }
 
     /// Compute `s2`, the state under the second pattern.
@@ -82,11 +95,30 @@ impl TwoPatternTest {
     ///
     /// # Panics
     ///
-    /// Panics if widths are inconsistent.
+    /// Panics if widths are inconsistent; use [`TwoPatternTest::try_new`]
+    /// for a fallible version.
     pub fn new(s1: Bits, v1: Bits, s2: Bits, v2: Bits) -> Self {
-        assert_eq!(v1.len(), v2.len(), "primary-input widths differ");
-        assert_eq!(s1.len(), s2.len(), "state widths differ");
-        TwoPatternTest { s1, v1, s2, v2 }
+        Self::try_new(s1, v1, s2, v2).expect("two-pattern test widths differ")
+    }
+
+    /// Construct a test, reporting inconsistent widths as an
+    /// [`Error::WidthMismatch`] instead of panicking.
+    pub fn try_new(s1: Bits, v1: Bits, s2: Bits, v2: Bits) -> Result<Self, Error> {
+        if v1.len() != v2.len() {
+            return Err(Error::WidthMismatch {
+                what: "two-pattern test primary inputs",
+                expected: v1.len(),
+                got: v2.len(),
+            });
+        }
+        if s1.len() != s2.len() {
+            return Err(Error::WidthMismatch {
+                what: "two-pattern test states",
+                expected: s1.len(),
+                got: s2.len(),
+            });
+        }
+        Ok(TwoPatternTest { s1, v1, s2, v2 })
     }
 
     /// Expand a broadside test by computing its natural second state.
@@ -157,10 +189,32 @@ mod tests {
     #[test]
     #[should_panic(expected = "primary-input widths differ")]
     fn width_mismatch_panics() {
-        let _ = BroadsideTest::new(
-            Bits::zeros(3),
-            Bits::zeros(4),
-            Bits::zeros(5),
-        );
+        let _ = BroadsideTest::new(Bits::zeros(3), Bits::zeros(4), Bits::zeros(5));
+    }
+
+    #[test]
+    fn try_new_reports_width_mismatches() {
+        assert!(matches!(
+            BroadsideTest::try_new(Bits::zeros(3), Bits::zeros(4), Bits::zeros(5)),
+            Err(Error::WidthMismatch {
+                expected: 4,
+                got: 5,
+                ..
+            })
+        ));
+        assert!(matches!(
+            TwoPatternTest::try_new(
+                Bits::zeros(3),
+                Bits::zeros(4),
+                Bits::zeros(2),
+                Bits::zeros(4)
+            ),
+            Err(Error::WidthMismatch {
+                expected: 3,
+                got: 2,
+                ..
+            })
+        ));
+        assert!(BroadsideTest::try_new(Bits::zeros(3), Bits::zeros(4), Bits::zeros(4)).is_ok());
     }
 }

@@ -1,0 +1,1247 @@
+//! The unified fault-simulation engine API.
+//!
+//! Everything the workspace needs from broadside transition-fault
+//! simulation goes through one trait, [`FaultSimEngine`], configured by a
+//! builder-style [`FaultSimOptions`]. Two implementations are provided:
+//!
+//! * [`SerialSim`] — the original single-threaded simulator, kept as the
+//!   correctness oracle;
+//! * [`PackedParallelSim`] — a PPSFP-style (parallel-pattern, single-fault
+//!   propagation) engine that packs 64 broadside tests per `u64` word and
+//!   shards the fault list across worker threads with
+//!   [`std::thread::scope`].
+//!
+//! Both engines produce bit-identical results: within a 64-test chunk each
+//! fault is simulated independently against a shared fault-free machine, so
+//! neither the shard boundaries nor the thread count can change a detection
+//! verdict. Fault dropping takes effect between chunks in both engines.
+//!
+//! # Example
+//!
+//! ```
+//! use fbt_fault::{all_transition_faults, BroadsideTest};
+//! use fbt_fault::engine::{FaultSimEngine, FaultSimOptions, PackedParallelSim};
+//! use fbt_netlist::s27;
+//! use fbt_sim::Bits;
+//!
+//! let net = s27();
+//! let faults = all_transition_faults(&net);
+//! let tests = vec![BroadsideTest::new(
+//!     Bits::from_str01("000"),
+//!     Bits::from_str01("0000"),
+//!     Bits::from_str01("1000"),
+//! )];
+//! let mut engine = PackedParallelSim::new(&net);
+//! let mut detected = vec![false; faults.len()];
+//! let newly = engine.run(&tests, &faults, &mut detected);
+//! assert_eq!(newly, detected.iter().filter(|&&d| d).count());
+//! ```
+
+use fbt_netlist::{Netlist, NodeId};
+use fbt_sim::comb;
+
+use crate::{BroadsideTest, Transition, TransitionFault, TwoPatternTest};
+
+/// Configuration for one [`FaultSimEngine::simulate`] call.
+///
+/// Built fluently; the default is a plain 1-detect run with fault dropping
+/// on and automatic thread count:
+///
+/// ```
+/// use fbt_fault::engine::FaultSimOptions;
+/// let opts = FaultSimOptions::new().n_detect(5).threads(4);
+/// assert_eq!(opts.n_detect_cap(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSimOptions {
+    n_detect: usize,
+    fault_dropping: bool,
+    threads: usize,
+    first_detection: bool,
+    matrix: bool,
+    activity: bool,
+}
+
+impl Default for FaultSimOptions {
+    fn default() -> Self {
+        FaultSimOptions {
+            n_detect: 1,
+            fault_dropping: true,
+            threads: 0,
+            first_detection: false,
+            matrix: false,
+            activity: false,
+        }
+    }
+}
+
+impl FaultSimOptions {
+    /// Plain 1-detect simulation with fault dropping, automatic threads.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count detections per fault up to `cap` instead of stopping at the
+    /// first one. With fault dropping on, a fault is dropped once it
+    /// saturates. The outcome's `counts` field is populated when `cap > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn n_detect(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "n-detect cap must be positive");
+        self.n_detect = cap;
+        self
+    }
+
+    /// Skip faults whose `detected` flag is already set (default `true`).
+    pub fn fault_dropping(mut self, on: bool) -> Self {
+        self.fault_dropping = on;
+        self
+    }
+
+    /// Number of worker threads for engines that parallelise; `0` (the
+    /// default) resolves to [`std::thread::available_parallelism`].
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Record, per fault, the index of the first detecting test.
+    pub fn first_detection(mut self, on: bool) -> Self {
+        self.first_detection = on;
+        self
+    }
+
+    /// Record the full fault × test detection matrix. Implies fault
+    /// dropping off: every detection of every fault must be observed.
+    pub fn detection_matrix(mut self, on: bool) -> Self {
+        self.matrix = on;
+        if on {
+            self.fault_dropping = false;
+        }
+        self
+    }
+
+    /// Account the fault-free launch→capture switching activity of each
+    /// test (number of circuit lines toggling between the two patterns, the
+    /// quantity behind the paper's §4.4 `SWA` measure).
+    pub fn activity(mut self, on: bool) -> Self {
+        self.activity = on;
+        self
+    }
+
+    /// The configured n-detect cap.
+    pub fn n_detect_cap(&self) -> usize {
+        self.n_detect
+    }
+
+    /// Whether fault dropping is enabled.
+    pub fn drops_faults(&self) -> bool {
+        self.fault_dropping
+    }
+
+    /// The configured thread count (`0` = automatic).
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+}
+
+/// The tests given to one [`FaultSimEngine::simulate`] call: broadside
+/// tests (second state derived from the first pattern) or two-pattern tests
+/// with an explicit — possibly unreachable — second state (the state-holding
+/// DFT of paper §4.5).
+#[derive(Debug, Clone, Copy)]
+pub enum TestSet<'a> {
+    /// Broadside tests; `s2` is the circuit's response to `<s1, v1>`.
+    Broadside(&'a [BroadsideTest]),
+    /// Two-pattern tests carrying their own second state.
+    TwoPattern(&'a [TwoPatternTest]),
+}
+
+impl TestSet<'_> {
+    /// Number of tests.
+    pub fn len(&self) -> usize {
+        match self {
+            TestSet::Broadside(t) => t.len(),
+            TestSet::TwoPattern(t) => t.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pack tests `start..end` (at most 64) into per-source words.
+    fn pack(&self, net: &Netlist, start: usize, end: usize) -> PackedChunk {
+        let n_pi = net.num_inputs();
+        let n_ff = net.num_dffs();
+        let mut c = PackedChunk {
+            n_tests: end - start,
+            v1w: vec![0; n_pi],
+            v2w: vec![0; n_pi],
+            s1w: vec![0; n_ff],
+            s2w: None,
+        };
+        match self {
+            TestSet::Broadside(tests) => {
+                for (lane, t) in tests[start..end].iter().enumerate() {
+                    assert_eq!(t.v1.len(), n_pi, "PI width mismatch");
+                    assert_eq!(t.scan_in.len(), n_ff, "state width mismatch");
+                    let bit = 1u64 << lane;
+                    for i in 0..n_pi {
+                        if t.v1.get(i) {
+                            c.v1w[i] |= bit;
+                        }
+                        if t.v2.get(i) {
+                            c.v2w[i] |= bit;
+                        }
+                    }
+                    for (i, w) in c.s1w.iter_mut().enumerate() {
+                        if t.scan_in.get(i) {
+                            *w |= bit;
+                        }
+                    }
+                }
+            }
+            TestSet::TwoPattern(tests) => {
+                let mut s2w = vec![0u64; n_ff];
+                for (lane, t) in tests[start..end].iter().enumerate() {
+                    assert_eq!(t.v1.len(), n_pi, "PI width mismatch");
+                    assert_eq!(t.s1.len(), n_ff, "state width mismatch");
+                    assert_eq!(t.s2.len(), n_ff, "state width mismatch");
+                    let bit = 1u64 << lane;
+                    for i in 0..n_pi {
+                        if t.v1.get(i) {
+                            c.v1w[i] |= bit;
+                        }
+                        if t.v2.get(i) {
+                            c.v2w[i] |= bit;
+                        }
+                    }
+                    for (i, (w1, w2)) in c.s1w.iter_mut().zip(s2w.iter_mut()).enumerate() {
+                        if t.s1.get(i) {
+                            *w1 |= bit;
+                        }
+                        if t.s2.get(i) {
+                            *w2 |= bit;
+                        }
+                    }
+                }
+                c.s2w = Some(s2w);
+            }
+        }
+        c
+    }
+}
+
+impl<'a> From<&'a [BroadsideTest]> for TestSet<'a> {
+    fn from(t: &'a [BroadsideTest]) -> Self {
+        TestSet::Broadside(t)
+    }
+}
+
+impl<'a> From<&'a [TwoPatternTest]> for TestSet<'a> {
+    fn from(t: &'a [TwoPatternTest]) -> Self {
+        TestSet::TwoPattern(t)
+    }
+}
+
+/// A fault × test detection matrix, 64 tests per word.
+///
+/// Row-major per fault; produced by
+/// [`FaultSimEngine::detection_matrix`]. The transition-path-delay-fault
+/// pipeline (paper §2.3.3) ANDs rows together: a path fault is detected by
+/// a test only if the test detects every transition fault along the path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionMatrix {
+    n_tests: usize,
+    rows: Vec<Vec<u64>>,
+}
+
+impl DetectionMatrix {
+    fn new(n_faults: usize, n_tests: usize) -> Self {
+        DetectionMatrix {
+            n_tests,
+            rows: vec![vec![0u64; n_tests.div_ceil(64)]; n_faults],
+        }
+    }
+
+    /// Does `test` detect `fault`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn detects(&self, fault: usize, test: usize) -> bool {
+        assert!(test < self.n_tests, "test index out of range");
+        (self.rows[fault][test / 64] >> (test % 64)) & 1 == 1
+    }
+
+    /// The packed row for `fault` (64 tests per word).
+    pub fn row(&self, fault: usize) -> &[u64] {
+        &self.rows[fault]
+    }
+
+    /// Number of words per row.
+    pub fn words_per_row(&self) -> usize {
+        self.n_tests.div_ceil(64)
+    }
+
+    /// Number of faults (rows).
+    pub fn num_faults(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of tests (columns).
+    pub fn num_tests(&self) -> usize {
+        self.n_tests
+    }
+
+    /// Consume into the raw per-fault word rows.
+    pub fn into_rows(self) -> Vec<Vec<u64>> {
+        self.rows
+    }
+}
+
+/// Everything one [`FaultSimEngine::simulate`] call produced. Optional
+/// fields are populated according to the [`FaultSimOptions`] used.
+#[derive(Debug, Clone, Default)]
+pub struct SimOutcome {
+    /// Faults whose `detected` flag this call flipped from false to true
+    /// (in n-detect mode: faults that reached the cap).
+    pub newly_detected: usize,
+    /// Per-fault detection counts, clamped to the cap
+    /// (present when `n_detect > 1`).
+    pub counts: Option<Vec<usize>>,
+    /// Per-fault index of the first detecting test
+    /// (present when `first_detection` was requested).
+    pub first_detection: Option<Vec<Option<usize>>>,
+    /// The full detection matrix (present when requested).
+    pub matrix: Option<DetectionMatrix>,
+    /// Per-test count of fault-free lines toggling between launch and
+    /// capture (present when `activity` was requested).
+    pub activity: Option<Vec<usize>>,
+}
+
+/// A broadside transition-fault simulation engine.
+///
+/// [`simulate`](FaultSimEngine::simulate) is the single required entry
+/// point; the remaining methods are thin conveniences over it and replace
+/// the former `FaultSim` method family (`run`, `run_two_pattern`,
+/// `run_first_detection`, `run_n_detect`, `detection_matrix`, `detects`).
+///
+/// The contract every engine must satisfy: a transition fault `v → v'` on
+/// line `g` is detected by a test when the first pattern establishes
+/// `g = v` (launch) and under the second pattern the stuck-at-`v` fault on
+/// `g` is observed at a primary output or a flip-flop D input (paper §1.2).
+/// Detection verdicts must not depend on chunking, sharding or thread
+/// count.
+pub trait FaultSimEngine {
+    /// A short, stable engine name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Simulate `tests` against `faults` under `opts`, updating the
+    /// per-fault `detected` flags (with fault dropping on, faults whose
+    /// flag is already set are skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detected.len() != faults.len()` or test widths mismatch
+    /// the engine's netlist.
+    fn simulate(
+        &mut self,
+        tests: TestSet<'_>,
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+        opts: &FaultSimOptions,
+    ) -> SimOutcome;
+
+    /// Plain fault-dropping simulation of broadside tests; returns how many
+    /// faults were newly detected.
+    fn run(
+        &mut self,
+        tests: &[BroadsideTest],
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+    ) -> usize {
+        self.simulate(
+            TestSet::Broadside(tests),
+            faults,
+            detected,
+            &FaultSimOptions::new(),
+        )
+        .newly_detected
+    }
+
+    /// Plain fault-dropping simulation of two-pattern tests with explicit
+    /// second states (the state-holding DFT of paper §4.5).
+    fn run_two_pattern(
+        &mut self,
+        tests: &[TwoPatternTest],
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+    ) -> usize {
+        self.simulate(
+            TestSet::TwoPattern(tests),
+            faults,
+            detected,
+            &FaultSimOptions::new(),
+        )
+        .newly_detected
+    }
+
+    /// Like [`run`](FaultSimEngine::run), but also report, for each newly
+    /// detected fault, the index (into `tests`) of the first detecting
+    /// test.
+    fn first_detections(
+        &mut self,
+        tests: &[BroadsideTest],
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+    ) -> Vec<Option<usize>> {
+        self.simulate(
+            TestSet::Broadside(tests),
+            faults,
+            detected,
+            &FaultSimOptions::new().first_detection(true),
+        )
+        .first_detection
+        .expect("first detections were requested")
+    }
+
+    /// N-detection profile: for each fault, how many of `tests` detect it,
+    /// saturating at `cap`. Built-in test generation "naturally achieves
+    /// n-detection" (paper §4.1); this quantifies the claim (see
+    /// [`crate::sim::n_detect_coverage`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    fn n_detect_profile(
+        &mut self,
+        tests: &[BroadsideTest],
+        faults: &[TransitionFault],
+        cap: usize,
+    ) -> Vec<usize> {
+        assert!(cap > 0, "cap must be positive");
+        let mut saturated = vec![false; faults.len()];
+        // Counts are only tracked for caps above 1; a cap of 1 is simulated
+        // at 2 and clamped, which can only do extra work, never change the
+        // clamped result.
+        let counts = self
+            .simulate(
+                TestSet::Broadside(tests),
+                faults,
+                &mut saturated,
+                &FaultSimOptions::new().n_detect(cap.max(2)),
+            )
+            .counts
+            .expect("n-detect counts were requested");
+        if cap == 1 {
+            counts.into_iter().map(|c| c.min(1)).collect()
+        } else {
+            counts
+        }
+    }
+
+    /// Full detection matrix without fault dropping.
+    fn detection_matrix(
+        &mut self,
+        tests: &[BroadsideTest],
+        faults: &[TransitionFault],
+    ) -> DetectionMatrix {
+        let mut detected = vec![false; faults.len()];
+        self.simulate(
+            TestSet::Broadside(tests),
+            faults,
+            &mut detected,
+            &FaultSimOptions::new().detection_matrix(true),
+        )
+        .matrix
+        .expect("detection matrix was requested")
+    }
+
+    /// Does a single test detect a single fault?
+    fn detects(&mut self, test: &BroadsideTest, fault: &TransitionFault) -> bool {
+        let mut detected = [false];
+        self.simulate(
+            TestSet::Broadside(std::slice::from_ref(test)),
+            std::slice::from_ref(fault),
+            &mut detected,
+            &FaultSimOptions::new(),
+        );
+        detected[0]
+    }
+}
+
+/// Packed source words for one chunk of at most 64 tests.
+struct PackedChunk {
+    n_tests: usize,
+    v1w: Vec<u64>,
+    v2w: Vec<u64>,
+    s1w: Vec<u64>,
+    /// Explicit second state (two-pattern tests); derived from frame 1
+    /// when absent.
+    s2w: Option<Vec<u64>>,
+}
+
+/// Fault-free machine values for one chunk, shared by every fault.
+struct GoodMachine {
+    /// Launch (first-pattern) values per node.
+    frame1: Vec<u64>,
+    /// Capture (second-pattern) fault-free values per node.
+    good: Vec<u64>,
+    /// Mask of valid test lanes.
+    lanes_mask: u64,
+}
+
+fn eval_good(net: &Netlist, chunk: &PackedChunk) -> GoodMachine {
+    let lanes_mask: u64 = if chunk.n_tests == 64 {
+        !0
+    } else {
+        (1u64 << chunk.n_tests) - 1
+    };
+    let mut frame1 = vec![0u64; net.num_nodes()];
+    comb::load_sources_packed(net, &chunk.v1w, &chunk.s1w, &mut frame1);
+    comb::eval_packed(net, &mut frame1);
+    let s2w = match &chunk.s2w {
+        Some(s) => s.clone(),
+        None => comb::next_state_packed(net, &frame1),
+    };
+    let mut good = vec![0u64; net.num_nodes()];
+    comb::load_sources_packed(net, &chunk.v2w, &s2w, &mut good);
+    comb::eval_packed(net, &mut good);
+    GoodMachine {
+        frame1,
+        good,
+        lanes_mask,
+    }
+}
+
+/// Per-worker mutable state, reused across chunks: the faulty-machine
+/// scratch buffer and a lazily built fanout-cone cache (indexed by node,
+/// which is both faster and shard-friendlier than a hash map).
+struct Worker {
+    scratch: Vec<u64>,
+    cones: Vec<Option<Box<[NodeId]>>>,
+}
+
+impl Worker {
+    fn new(net: &Netlist) -> Self {
+        Worker {
+            scratch: Vec::new(),
+            cones: vec![None; net.num_nodes()],
+        }
+    }
+
+    /// Reset the scratch buffer to the chunk's fault-free values.
+    fn load_good(&mut self, gm: &GoodMachine) {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&gm.good);
+    }
+}
+
+/// The lanes (bit per test) in which `fault` is detected in this chunk.
+///
+/// Single-fault propagation: force the stuck value at the fault site,
+/// re-evaluate only its fanout cone against the shared good machine, and
+/// compare at observation points. The scratch buffer must equal `gm.good`
+/// on entry and is restored before returning.
+#[inline]
+fn fault_lanes(
+    net: &Netlist,
+    observable: &[bool],
+    gm: &GoodMachine,
+    worker: &mut Worker,
+    fault: &TransitionFault,
+) -> u64 {
+    let g = fault.line.index();
+    let init_word: u64 = match fault.transition {
+        Transition::Rise => 0,
+        Transition::Fall => !0,
+    };
+    // Launch condition: g carries the fault's initial value under pattern 1.
+    let act = match fault.transition {
+        Transition::Rise => !gm.frame1[g],
+        Transition::Fall => gm.frame1[g],
+    } & gm.lanes_mask;
+    if act == 0 {
+        return 0;
+    }
+    // A fault effect exists at g only where the good frame-2 value differs
+    // from the stuck value.
+    if act & (gm.good[g] ^ init_word) == 0 {
+        return 0;
+    }
+    let cone =
+        worker.cones[g].get_or_insert_with(|| net.fanout_cone(fault.line).into_boxed_slice());
+    worker.scratch[g] = init_word;
+    // cone[0] is the faulty line itself: it must keep the forced value, so
+    // evaluation starts at cone[1].
+    comb::eval_packed_cone(net, &cone[1..], &mut worker.scratch);
+    let mut diff_obs = 0u64;
+    for &c in cone.iter() {
+        if observable[c.index()] {
+            diff_obs |= worker.scratch[c.index()] ^ gm.good[c.index()];
+        }
+    }
+    for &c in cone.iter() {
+        worker.scratch[c.index()] = gm.good[c.index()];
+    }
+    act & diff_obs
+}
+
+/// Accumulates per-call results; shared by both engines so their merge
+/// semantics cannot drift apart.
+struct Accum {
+    newly: usize,
+    cap: usize,
+    counts: Option<Vec<usize>>,
+    first: Option<Vec<Option<usize>>>,
+    matrix: Option<DetectionMatrix>,
+    activity: Option<Vec<usize>>,
+}
+
+impl Accum {
+    fn new(opts: &FaultSimOptions, n_faults: usize, n_tests: usize) -> Self {
+        Accum {
+            newly: 0,
+            cap: opts.n_detect,
+            counts: (opts.n_detect > 1).then(|| vec![0usize; n_faults]),
+            first: opts.first_detection.then(|| vec![None; n_faults]),
+            matrix: opts.matrix.then(|| DetectionMatrix::new(n_faults, n_tests)),
+            activity: opts.activity.then(|| vec![0usize; n_tests]),
+        }
+    }
+
+    /// Merge the detecting lanes of fault `fi` in chunk `base`.
+    fn record(&mut self, fi: usize, lanes: u64, base: usize, detected: &mut [bool]) {
+        match &mut self.counts {
+            Some(counts) => {
+                if counts[fi] == 0 {
+                    if let Some(first) = &mut self.first {
+                        first[fi] = Some(base * 64 + lanes.trailing_zeros() as usize);
+                    }
+                }
+                counts[fi] += lanes.count_ones() as usize;
+                if counts[fi] >= self.cap && !detected[fi] {
+                    detected[fi] = true;
+                    self.newly += 1;
+                }
+            }
+            None => {
+                if !detected[fi] {
+                    detected[fi] = true;
+                    self.newly += 1;
+                    if let Some(first) = &mut self.first {
+                        first[fi] = Some(base * 64 + lanes.trailing_zeros() as usize);
+                    }
+                }
+            }
+        }
+        if let Some(m) = &mut self.matrix {
+            m.rows[fi][base] |= lanes;
+        }
+    }
+
+    /// Add the fault-free launch→capture toggle counts of chunk `base`.
+    fn record_activity(&mut self, gm: &GoodMachine, base: usize) {
+        if let Some(act) = &mut self.activity {
+            for (f1, f2) in gm.frame1.iter().zip(&gm.good) {
+                let mut d = (f1 ^ f2) & gm.lanes_mask;
+                while d != 0 {
+                    act[base * 64 + d.trailing_zeros() as usize] += 1;
+                    d &= d - 1;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> SimOutcome {
+        let cap = self.cap;
+        SimOutcome {
+            newly_detected: self.newly,
+            counts: self
+                .counts
+                .map(|c| c.into_iter().map(|v| v.min(cap)).collect()),
+            first_detection: self.first,
+            matrix: self.matrix,
+            activity: self.activity,
+        }
+    }
+}
+
+/// Shared observability precomputation: a node is observable when it drives
+/// a primary output or a flip-flop D input.
+fn observability(net: &Netlist) -> Vec<bool> {
+    let mut observable = vec![false; net.num_nodes()];
+    for &o in net.outputs() {
+        observable[o.index()] = true;
+    }
+    for &d in net.dffs() {
+        observable[net.node(d).fanins()[0].index()] = true;
+    }
+    observable
+}
+
+/// The original single-threaded engine, kept as the correctness oracle for
+/// [`PackedParallelSim`] (see the `differential` integration tests).
+#[derive(Debug)]
+pub struct SerialSim<'a> {
+    net: &'a Netlist,
+    observable: Vec<bool>,
+    scratch: Vec<u64>,
+    cones: Vec<Option<Box<[NodeId]>>>,
+}
+
+impl<'a> SerialSim<'a> {
+    /// Build a serial engine for one netlist (precomputes observability).
+    pub fn new(net: &'a Netlist) -> Self {
+        SerialSim {
+            net,
+            observable: observability(net),
+            scratch: Vec::new(),
+            cones: vec![None; net.num_nodes()],
+        }
+    }
+}
+
+impl FaultSimEngine for SerialSim<'_> {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn simulate(
+        &mut self,
+        tests: TestSet<'_>,
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+        opts: &FaultSimOptions,
+    ) -> SimOutcome {
+        assert_eq!(faults.len(), detected.len(), "flag vector length mismatch");
+        let net = self.net;
+        let mut accum = Accum::new(opts, faults.len(), tests.len());
+        // Borrow-friendly local worker view over this engine's state.
+        let mut worker = Worker {
+            scratch: std::mem::take(&mut self.scratch),
+            cones: std::mem::take(&mut self.cones),
+        };
+        for base in 0..tests.len().div_ceil(64) {
+            let start = base * 64;
+            let end = (start + 64).min(tests.len());
+            let chunk = tests.pack(net, start, end);
+            let gm = eval_good(net, &chunk);
+            accum.record_activity(&gm, base);
+            worker.load_good(&gm);
+            for (fi, fault) in faults.iter().enumerate() {
+                if opts.fault_dropping && detected[fi] {
+                    continue;
+                }
+                let lanes = fault_lanes(net, &self.observable, &gm, &mut worker, fault);
+                if lanes != 0 {
+                    accum.record(fi, lanes, base, detected);
+                }
+            }
+        }
+        self.scratch = worker.scratch;
+        self.cones = worker.cones;
+        accum.finish()
+    }
+}
+
+/// The PPSFP engine: 64 tests per machine word, fault list sharded across
+/// worker threads with [`std::thread::scope`].
+///
+/// Per 64-test chunk the fault-free machine (launch and capture frames) is
+/// evaluated once and shared read-only; each worker then propagates its
+/// shard of faults through private scratch buffers and per-worker fanout
+/// cone caches, so no locking is needed anywhere. Detection flags are
+/// merged between chunks, giving exactly the serial engine's fault-dropping
+/// semantics — results are bit-identical to [`SerialSim`] for every thread
+/// count.
+#[derive(Debug)]
+pub struct PackedParallelSim<'a> {
+    net: &'a Netlist,
+    observable: Vec<bool>,
+    workers: Vec<Worker>,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field(
+                "cached_cones",
+                &self.cones.iter().filter(|c| c.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+impl<'a> PackedParallelSim<'a> {
+    /// Build a parallel engine for one netlist.
+    pub fn new(net: &'a Netlist) -> Self {
+        PackedParallelSim {
+            net,
+            observable: observability(net),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Resolve an options thread count against the machine.
+    fn resolve_threads(opts: &FaultSimOptions, n_faults: usize) -> usize {
+        let requested = if opts.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            opts.threads
+        };
+        requested.clamp(1, n_faults.max(1))
+    }
+}
+
+impl FaultSimEngine for PackedParallelSim<'_> {
+    fn name(&self) -> &'static str {
+        "packed-parallel"
+    }
+
+    fn simulate(
+        &mut self,
+        tests: TestSet<'_>,
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+        opts: &FaultSimOptions,
+    ) -> SimOutcome {
+        assert_eq!(faults.len(), detected.len(), "flag vector length mismatch");
+        let net = self.net;
+        let threads = Self::resolve_threads(opts, faults.len());
+        while self.workers.len() < threads {
+            self.workers.push(Worker::new(net));
+        }
+        let observable = &self.observable;
+        let mut accum = Accum::new(opts, faults.len(), tests.len());
+        let shard = faults.len().div_ceil(threads).max(1);
+
+        for base in 0..tests.len().div_ceil(64) {
+            let start = base * 64;
+            let end = (start + 64).min(tests.len());
+            let chunk = tests.pack(net, start, end);
+            let gm = eval_good(net, &chunk);
+            accum.record_activity(&gm, base);
+
+            if threads == 1 {
+                // Inline fast path: no spawn overhead.
+                let worker = &mut self.workers[0];
+                worker.load_good(&gm);
+                for (fi, fault) in faults.iter().enumerate() {
+                    if opts.fault_dropping && detected[fi] {
+                        continue;
+                    }
+                    let lanes = fault_lanes(net, observable, &gm, worker, fault);
+                    if lanes != 0 {
+                        accum.record(fi, lanes, base, detected);
+                    }
+                }
+                continue;
+            }
+
+            // Shard the fault list; workers read a snapshot of the
+            // detection flags (dropping takes effect between chunks, as in
+            // the serial engine) and report (fault index, lanes) hits.
+            let flags: &[bool] = detected;
+            let dropping = opts.fault_dropping;
+            let hits: Vec<Vec<(usize, u64)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .zip(faults.chunks(shard))
+                    .enumerate()
+                    .map(|(w, (worker, shard_faults))| {
+                        let gm = &gm;
+                        s.spawn(move || {
+                            let offset = w * shard;
+                            worker.load_good(gm);
+                            let mut hits = Vec::new();
+                            for (i, fault) in shard_faults.iter().enumerate() {
+                                if dropping && flags[offset + i] {
+                                    continue;
+                                }
+                                let lanes = fault_lanes(net, observable, gm, worker, fault);
+                                if lanes != 0 {
+                                    hits.push((offset + i, lanes));
+                                }
+                            }
+                            hits
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fault-sim worker panicked"))
+                    .collect()
+            });
+            for shard_hits in hits {
+                for (fi, lanes) in shard_hits {
+                    accum.record(fi, lanes, base, detected);
+                }
+            }
+        }
+        accum.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{all_transition_faults, sim::coverage_percent, sim::n_detect_coverage};
+    use fbt_netlist::rng::Rng;
+    use fbt_netlist::s27;
+    use fbt_sim::Bits;
+
+    fn random_tests(n: usize, n_pi: usize, n_ff: usize, seed: u64) -> Vec<BroadsideTest> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| {
+                BroadsideTest::new(
+                    (0..n_ff).map(|_| rng.bit()).collect(),
+                    (0..n_pi).map(|_| rng.bit()).collect(),
+                    (0..n_pi).map(|_| rng.bit()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Reference scalar implementation: simulate the whole faulty circuit.
+    fn detects_reference(net: &Netlist, t: &BroadsideTest, f: &TransitionFault) -> bool {
+        let mut f1 = vec![false; net.num_nodes()];
+        for (i, &id) in net.inputs().iter().enumerate() {
+            f1[id.index()] = t.v1.get(i);
+        }
+        for (i, &id) in net.dffs().iter().enumerate() {
+            f1[id.index()] = t.scan_in.get(i);
+        }
+        comb::eval_scalar(net, &mut f1);
+        if f1[f.line.index()] != f.transition.initial_value() {
+            return false;
+        }
+        let mut good = vec![false; net.num_nodes()];
+        for (i, &id) in net.inputs().iter().enumerate() {
+            good[id.index()] = t.v2.get(i);
+        }
+        for &d in net.dffs() {
+            good[d.index()] = f1[net.node(d).fanins()[0].index()];
+        }
+        comb::eval_scalar(net, &mut good);
+        let mut faulty = good.clone();
+        for (i, &id) in net.inputs().iter().enumerate() {
+            faulty[id.index()] = t.v2.get(i);
+        }
+        faulty[f.line.index()] = f.transition.initial_value();
+        for &id in net.eval_order() {
+            if id == f.line {
+                continue;
+            }
+            let node = net.node(id);
+            let vals: Vec<bool> = node.fanins().iter().map(|x| faulty[x.index()]).collect();
+            faulty[id.index()] = node.kind().eval(&vals);
+        }
+        let po_diff = net
+            .outputs()
+            .iter()
+            .any(|&o| good[o.index()] != faulty[o.index()]);
+        let ns_diff = net.dffs().iter().any(|&d| {
+            let di = net.node(d).fanins()[0].index();
+            good[di] != faulty[di]
+        });
+        po_diff || ns_diff
+    }
+
+    fn engines<'a>(net: &'a Netlist) -> Vec<Box<dyn FaultSimEngine + 'a>> {
+        vec![
+            Box::new(SerialSim::new(net)),
+            Box::new(PackedParallelSim::new(net)),
+        ]
+    }
+
+    #[test]
+    fn both_engines_match_reference_on_s27() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(40, 4, 3, 99);
+        for mut engine in engines(&net) {
+            for t in &tests {
+                for f in &faults {
+                    assert_eq!(
+                        engine.detects(t, f),
+                        detects_reference(&net, t, f),
+                        "{} fault {f} test {t:?}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_dropping_counts() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(128, 4, 3, 7);
+        for mut engine in engines(&net) {
+            let mut detected = vec![false; faults.len()];
+            let n1 = engine.run(&tests, &faults, &mut detected);
+            assert_eq!(n1, detected.iter().filter(|&&d| d).count());
+            let n2 = engine.run(&tests, &faults, &mut detected);
+            assert_eq!(n2, 0, "{}: re-run detects nothing new", engine.name());
+            assert!(coverage_percent(&detected) > 50.0);
+        }
+    }
+
+    #[test]
+    fn first_detection_indices_are_earliest() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(100, 4, 3, 21);
+        let mut engine = PackedParallelSim::new(&net);
+        let mut det = vec![false; faults.len()];
+        let first = engine.first_detections(&tests, &faults, &mut det);
+        let mut oracle = SerialSim::new(&net);
+        for (fi, f) in faults.iter().enumerate() {
+            if let Some(ti) = first[fi] {
+                assert!(det[fi]);
+                for (tj, t) in tests.iter().enumerate().take(ti) {
+                    assert!(!oracle.detects(t, f), "test {tj} already detects {f}");
+                }
+                assert!(oracle.detects(&tests[ti], f));
+            } else {
+                assert!(!det[fi]);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_equals_single_test_runs() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(70, 4, 3, 5);
+        for mut engine in engines(&net) {
+            let mut det_batch = vec![false; faults.len()];
+            engine.run(&tests, &faults, &mut det_batch);
+            let mut det_single = vec![false; faults.len()];
+            for t in &tests {
+                for (fi, f) in faults.iter().enumerate() {
+                    if !det_single[fi] && engine.detects(t, f) {
+                        det_single[fi] = true;
+                    }
+                }
+            }
+            assert_eq!(det_batch, det_single, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn two_pattern_with_natural_state_matches_broadside() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(80, 4, 3, 33);
+        let expanded: Vec<TwoPatternTest> = tests
+            .iter()
+            .map(|t| TwoPatternTest::from_broadside(&net, t))
+            .collect();
+        for mut engine in engines(&net) {
+            let mut det_a = vec![false; faults.len()];
+            engine.run(&tests, &faults, &mut det_a);
+            let mut det_b = vec![false; faults.len()];
+            engine.run_two_pattern(&expanded, &faults, &mut det_b);
+            assert_eq!(det_a, det_b, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn two_pattern_with_held_state_changes_detection() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(60, 4, 3, 77);
+        let natural: Vec<TwoPatternTest> = tests
+            .iter()
+            .map(|t| TwoPatternTest::from_broadside(&net, t))
+            .collect();
+        let held: Vec<TwoPatternTest> = natural
+            .iter()
+            .map(|t| {
+                let mut s2 = t.s2.clone();
+                s2.set(0, !s2.get(0)); // hold/flip one flip-flop
+                TwoPatternTest::new(t.s1.clone(), t.v1.clone(), s2, t.v2.clone())
+            })
+            .collect();
+        let mut engine = PackedParallelSim::new(&net);
+        let mut det_nat = vec![false; faults.len()];
+        engine.run_two_pattern(&natural, &faults, &mut det_nat);
+        let mut det_held = vec![false; faults.len()];
+        engine.run_two_pattern(&held, &faults, &mut det_held);
+        assert_ne!(det_nat, det_held, "held states should alter detections");
+    }
+
+    #[test]
+    fn n_detect_profile_consistent_with_plain_run() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(120, 4, 3, 55);
+        for mut engine in engines(&net) {
+            let counts = engine.n_detect_profile(&tests, &faults, 5);
+            let mut detected = vec![false; faults.len()];
+            engine.run(&tests, &faults, &mut detected);
+            for (c, d) in counts.iter().zip(&detected) {
+                assert_eq!(*c >= 1, *d, "1-detect must agree with plain detection");
+                assert!(*c <= 5, "cap respected");
+            }
+            let c1 = n_detect_coverage(&counts, 1);
+            let c3 = n_detect_coverage(&counts, 3);
+            let c5 = n_detect_coverage(&counts, 5);
+            assert!(c1 >= c3 && c3 >= c5);
+            assert_eq!(c1, coverage_percent(&detected));
+        }
+    }
+
+    #[test]
+    fn n_detect_counts_are_exact_for_small_cases() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(70, 4, 3, 8);
+        for mut engine in engines(&net) {
+            let counts = engine.n_detect_profile(&tests, &faults, 1_000);
+            for (fi, f) in faults.iter().enumerate() {
+                let brute = tests.iter().filter(|t| engine.detects(t, f)).count();
+                assert_eq!(counts[fi], brute, "fault {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn detection_matrix_agrees_with_detects() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(70, 4, 3, 13);
+        let mut engine = PackedParallelSim::new(&net);
+        let matrix = engine.detection_matrix(&tests, &faults);
+        assert_eq!(matrix.num_faults(), faults.len());
+        assert_eq!(matrix.num_tests(), tests.len());
+        let mut oracle = SerialSim::new(&net);
+        for (fi, f) in faults.iter().enumerate() {
+            for (ti, t) in tests.iter().enumerate() {
+                assert_eq!(
+                    matrix.detects(fi, ti),
+                    oracle.detects(t, f),
+                    "fault {f} test {ti}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_are_bit_identical() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(200, 4, 3, 41);
+        let mut reference = vec![false; faults.len()];
+        SerialSim::new(&net).simulate(
+            TestSet::Broadside(&tests),
+            &faults,
+            &mut reference,
+            &FaultSimOptions::new(),
+        );
+        for threads in [1, 2, 3, 7] {
+            let mut engine = PackedParallelSim::new(&net);
+            let mut detected = vec![false; faults.len()];
+            let out = engine.simulate(
+                TestSet::Broadside(&tests),
+                &faults,
+                &mut detected,
+                &FaultSimOptions::new().threads(threads),
+            );
+            assert_eq!(detected, reference, "threads={threads}");
+            assert_eq!(out.newly_detected, reference.iter().filter(|&&d| d).count());
+        }
+    }
+
+    #[test]
+    fn activity_accounting_matches_scalar_toggles() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(10, 4, 3, 3);
+        let mut engine = PackedParallelSim::new(&net);
+        let mut detected = vec![false; faults.len()];
+        let out = engine.simulate(
+            TestSet::Broadside(&tests),
+            &faults,
+            &mut detected,
+            &FaultSimOptions::new().activity(true),
+        );
+        let activity = out.activity.expect("activity requested");
+        assert_eq!(activity.len(), tests.len());
+        for (t, &toggles) in tests.iter().zip(&activity) {
+            // Scalar reference: count nodes differing between the two frames.
+            let mut f1 = vec![false; net.num_nodes()];
+            for (i, &id) in net.inputs().iter().enumerate() {
+                f1[id.index()] = t.v1.get(i);
+            }
+            for (i, &id) in net.dffs().iter().enumerate() {
+                f1[id.index()] = t.scan_in.get(i);
+            }
+            comb::eval_scalar(&net, &mut f1);
+            let mut f2 = vec![false; net.num_nodes()];
+            for (i, &id) in net.inputs().iter().enumerate() {
+                f2[id.index()] = t.v2.get(i);
+            }
+            for &d in net.dffs() {
+                f2[d.index()] = f1[net.node(d).fanins()[0].index()];
+            }
+            comb::eval_scalar(&net, &mut f2);
+            let expect = (0..net.num_nodes()).filter(|&i| f1[i] != f2[i]).count();
+            assert_eq!(toggles, expect, "test {t:?}");
+        }
+    }
+
+    #[test]
+    fn options_builder_roundtrip() {
+        let opts = FaultSimOptions::new()
+            .n_detect(7)
+            .threads(3)
+            .fault_dropping(false)
+            .first_detection(true)
+            .activity(true);
+        assert_eq!(opts.n_detect_cap(), 7);
+        assert_eq!(opts.thread_count(), 3);
+        assert!(!opts.drops_faults());
+        let m = FaultSimOptions::new().detection_matrix(true);
+        assert!(!m.drops_faults(), "matrix recording implies no dropping");
+    }
+
+    #[test]
+    fn empty_test_set_is_a_no_op() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        for mut engine in engines(&net) {
+            let mut detected = vec![false; faults.len()];
+            assert_eq!(engine.run(&[], &faults, &mut detected), 0);
+            assert!(detected.iter().all(|&d| !d));
+        }
+    }
+
+    #[test]
+    fn from_str01_doc_smoke() {
+        // The engine doc example's test vector: keep it detecting something.
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = vec![BroadsideTest::new(
+            Bits::from_str01("000"),
+            Bits::from_str01("0000"),
+            Bits::from_str01("1000"),
+        )];
+        let mut engine = PackedParallelSim::new(&net);
+        let mut detected = vec![false; faults.len()];
+        let newly = engine.run(&tests, &faults, &mut detected);
+        assert_eq!(newly, detected.iter().filter(|&&d| d).count());
+    }
+}

@@ -9,14 +9,17 @@
 //! * [`BroadsideTest`] — scan-based two-pattern tests `<s1, v1, s2, v2>`
 //!   where `s2` is the circuit's response to `<s1, v1>` (paper §1.3,
 //!   Fig. 1.10);
-//! * [`sim::FaultSim`] — bit-parallel (64 tests/word), cone-limited,
-//!   fault-dropping transition-fault simulation;
+//! * [`engine`] — the unified [`FaultSimEngine`] trait over bit-parallel
+//!   (64 tests/word), cone-limited, fault-dropping transition-fault
+//!   simulation, with a serial oracle ([`SerialSim`]) and a multi-threaded
+//!   PPSFP engine ([`PackedParallelSim`]);
 //! * [`path`] — structural paths, path delay faults and the *transition path
 //!   delay fault* model of Chapter 2, under which a path delay fault is
 //!   detected only if **all** transition faults along the path are detected
 //!   by the same test.
 
 mod broadside;
+pub mod engine;
 pub mod path;
 pub mod sensitize;
 pub mod sim;
@@ -24,6 +27,11 @@ pub mod stuck;
 mod transition;
 
 pub use broadside::{BroadsideTest, TwoPatternTest};
+pub use engine::{
+    DetectionMatrix, FaultSimEngine, FaultSimOptions, PackedParallelSim, SerialSim, SimOutcome,
+    TestSet,
+};
 pub use path::{Path, TransitionPathDelayFault};
 pub use sensitize::{classify, Sensitization};
+pub use sim::{coverage_percent, n_detect_coverage};
 pub use transition::{all_transition_faults, collapse, Transition, TransitionFault};

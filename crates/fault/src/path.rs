@@ -296,7 +296,7 @@ pub fn tpdf_list(paths: &[Path]) -> Vec<TransitionPathDelayFault> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fbt_netlist::{GateKind, NetlistBuilder, s27};
+    use fbt_netlist::{s27, GateKind, NetlistBuilder};
 
     /// The dissertation's Fig. 1.2 circuit: path a-c-e-g.
     fn fig12() -> Netlist {
@@ -392,10 +392,7 @@ mod tests {
             assert!(src.kind().is_source());
             let sink = p.sink();
             let is_capture = net.is_po_driver(sink)
-                || net
-                    .dffs()
-                    .iter()
-                    .any(|&d| net.node(d).fanins()[0] == sink);
+                || net.dffs().iter().any(|&d| net.node(d).fanins()[0] == sink);
             assert!(is_capture);
         }
     }

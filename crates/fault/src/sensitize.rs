@@ -151,9 +151,9 @@ pub fn classify(
         if !steady_required {
             return true;
         }
-        g.fanins().iter().all(|&side: &NodeId| {
-            side == on_path || v1[side.index()] == v2[side.index()]
-        })
+        g.fanins()
+            .iter()
+            .all(|&side: &NodeId| side == on_path || v1[side.index()] == v2[side.index()])
     });
     if robust {
         Sensitization::Robust
@@ -259,14 +259,14 @@ mod tests {
         // And (the Fig. 1.6/1.7 point) the on-path transition fault at h is
         // NOT detected by this test, although the path delay fault is
         // weak-non-robustly sensitized.
-        let mut fsim = crate::sim::FaultSim::new(&net);
+        use crate::engine::FaultSimEngine;
+        let mut fsim = crate::engine::SerialSim::new(&net);
         let h = net.find("h").unwrap();
-        let broadside = crate::BroadsideTest::new(
-            t.s1.clone(),
-            t.v1.clone(),
-            t.v2.clone(),
-        );
-        assert!(!fsim.detects(&broadside, &crate::TransitionFault::new(h, Transition::Rise)));
+        let broadside = crate::BroadsideTest::new(t.s1.clone(), t.v1.clone(), t.v2.clone());
+        assert!(!fsim.detects(
+            &broadside,
+            &crate::TransitionFault::new(h, Transition::Rise)
+        ));
     }
 
     #[test]

@@ -1,380 +1,96 @@
-//! Bit-parallel broadside transition-fault simulation.
+//! Legacy fault-simulation entry point and coverage helpers.
 //!
-//! Tests are packed 64 per machine word; faults are simulated serially with
-//! fault dropping and cone-limited forward propagation. A transition fault
-//! `v → v'` on line `g` is detected by a broadside test when
-//!
-//! 1. the first pattern establishes `g = v` (launch condition), and
-//! 2. under the second pattern the stuck-at-`v` fault on `g` is observed at a
-//!    primary output or captured into a flip-flop (paper §1.2, Fig. 1.3).
+//! The simulator itself now lives in [`crate::engine`] behind the
+//! [`FaultSimEngine`](crate::engine::FaultSimEngine) trait; [`FaultSim`]
+//! remains as a deprecated shim that delegates every call to
+//! [`SerialSim`](crate::engine::SerialSim) so existing code keeps working
+//! during the migration.
 
-use std::collections::HashMap;
+use fbt_netlist::Netlist;
 
-use fbt_netlist::{Netlist, NodeId};
-use fbt_sim::comb;
+use crate::engine::{FaultSimEngine, SerialSim};
+use crate::{BroadsideTest, TransitionFault, TwoPatternTest};
 
-use crate::{BroadsideTest, Transition, TransitionFault, TwoPatternTest};
-
-/// A reusable broadside transition-fault simulator for one netlist.
+/// Deprecated façade over [`SerialSim`].
 ///
-/// # Example
-///
-/// ```
-/// use fbt_fault::{all_transition_faults, sim::FaultSim, BroadsideTest};
-/// use fbt_netlist::s27;
-/// use fbt_sim::Bits;
-///
-/// let net = s27();
-/// let faults = all_transition_faults(&net);
-/// let mut detected = vec![false; faults.len()];
-/// let mut fsim = FaultSim::new(&net);
-/// let tests = vec![BroadsideTest::new(
-///     Bits::from_str01("000"),
-///     Bits::from_str01("0000"),
-///     Bits::from_str01("1000"),
-/// )];
-/// let newly = fsim.run(&tests, &faults, &mut detected);
-/// assert_eq!(newly, detected.iter().filter(|&&d| d).count());
-/// ```
+/// New code should use the [`FaultSimEngine`] trait directly — with
+/// [`SerialSim`] for oracle-grade serial simulation or
+/// [`PackedParallelSim`](crate::engine::PackedParallelSim) for the
+/// multi-threaded PPSFP engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `FaultSimEngine` trait with `SerialSim` or `PackedParallelSim` from `fbt_fault::engine`"
+)]
 #[derive(Debug)]
 pub struct FaultSim<'a> {
-    net: &'a Netlist,
-    /// Whether each node is directly observable (drives a PO or a flip-flop
-    /// D input).
-    observable: Vec<bool>,
-    cone_cache: HashMap<NodeId, Box<[NodeId]>>,
+    inner: SerialSim<'a>,
 }
 
+#[allow(deprecated)]
 impl<'a> FaultSim<'a> {
     /// Build a simulator (precomputes observability).
     pub fn new(net: &'a Netlist) -> Self {
-        let mut observable = vec![false; net.num_nodes()];
-        for &o in net.outputs() {
-            observable[o.index()] = true;
-        }
-        for &d in net.dffs() {
-            observable[net.node(d).fanins()[0].index()] = true;
-        }
         FaultSim {
-            net,
-            observable,
-            cone_cache: HashMap::new(),
+            inner: SerialSim::new(net),
         }
     }
 
     /// Simulate `tests` against the faults whose `detected` flag is still
-    /// false; set the flag for each newly detected fault and return how many
-    /// were newly detected.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `detected.len() != faults.len()` or test widths mismatch.
+    /// false; see [`FaultSimEngine::run`].
     pub fn run(
         &mut self,
         tests: &[BroadsideTest],
         faults: &[TransitionFault],
         detected: &mut [bool],
     ) -> usize {
-        assert_eq!(faults.len(), detected.len(), "flag vector length mismatch");
-        let mut newly = 0;
-        for chunk in tests.chunks(64) {
-            newly += self.run_batch(chunk, faults, detected, &mut |_, _| {});
-        }
-        newly
+        self.inner.run(tests, faults, detected)
     }
 
-    /// Simulate two-pattern tests whose second-pattern state is given
-    /// explicitly rather than derived from the first pattern.
-    ///
-    /// Used for the state-holding DFT of §4.5: when some flip-flops are held
-    /// during the launch transition, the second-pattern state differs from
-    /// the circuit's natural response to `<s1, v1>` (that is the point — it
-    /// may be unreachable), so it must be supplied.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `detected.len() != faults.len()` or test widths mismatch.
+    /// Simulate two-pattern tests with explicit second states; see
+    /// [`FaultSimEngine::run_two_pattern`].
     pub fn run_two_pattern(
         &mut self,
         tests: &[TwoPatternTest],
         faults: &[TransitionFault],
         detected: &mut [bool],
     ) -> usize {
-        assert_eq!(faults.len(), detected.len(), "flag vector length mismatch");
-        let mut newly = 0;
-        for chunk in tests.chunks(64) {
-            newly += self.run_batch_two_pattern(chunk, faults, detected, &mut |_, _| {});
-        }
-        newly
+        self.inner.run_two_pattern(tests, faults, detected)
     }
 
-    /// Like [`FaultSim::run`], but also report, for each newly detected
-    /// fault, the index (into `tests`) of the first test that detects it.
+    /// First-detection indices; see [`FaultSimEngine::first_detections`].
     pub fn run_first_detection(
         &mut self,
         tests: &[BroadsideTest],
         faults: &[TransitionFault],
         detected: &mut [bool],
     ) -> Vec<Option<usize>> {
-        assert_eq!(faults.len(), detected.len(), "flag vector length mismatch");
-        let mut first = vec![None; faults.len()];
-        for (base, chunk) in tests.chunks(64).enumerate() {
-            self.run_batch(chunk, faults, detected, &mut |fault_idx, lanes| {
-                let lane = lanes.trailing_zeros() as usize;
-                first[fault_idx] = Some(base * 64 + lane);
-            });
-        }
-        first
+        self.inner.first_detections(tests, faults, detected)
     }
 
-    /// N-detection profile: for each fault, how many of `tests` detect it,
-    /// saturating at `cap`.
-    ///
-    /// Built-in test generation "naturally achieves n-detection" (paper
-    /// §4.1) because it applies many more tests than a compacted
-    /// deterministic set; this profile quantifies that claim
-    /// (see `n_detect_coverage`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cap == 0`.
+    /// N-detection profile; see [`FaultSimEngine::n_detect_profile`].
     pub fn run_n_detect(
         &mut self,
         tests: &[BroadsideTest],
         faults: &[TransitionFault],
         cap: usize,
     ) -> Vec<usize> {
-        assert!(cap > 0, "cap must be positive");
-        let mut counts = vec![0usize; faults.len()];
-        let mut saturated = vec![false; faults.len()];
-        for chunk in tests.chunks(64) {
-            let mut flags = saturated.clone();
-            self.run_batch(chunk, faults, &mut flags, &mut |fi, lanes| {
-                counts[fi] += lanes.count_ones() as usize;
-            });
-            for (s, c) in saturated.iter_mut().zip(&counts) {
-                if *c >= cap {
-                    *s = true;
-                }
-            }
-        }
-        counts.iter().map(|&c| c.min(cap)).collect()
+        self.inner.n_detect_profile(tests, faults, cap)
     }
 
-    /// Full detection matrix without fault dropping: for each fault, a
-    /// bitset (64 tests per word) of which tests detect it.
-    ///
-    /// Used by the transition-path-delay-fault pipeline (§2.3.3), where a
-    /// path fault is detected by a test only if the test detects *every*
-    /// transition fault along the path — an AND over rows of this matrix.
+    /// Full detection matrix as raw rows; see
+    /// [`FaultSimEngine::detection_matrix`].
     pub fn detection_matrix(
         &mut self,
         tests: &[BroadsideTest],
         faults: &[TransitionFault],
     ) -> Vec<Vec<u64>> {
-        let words = tests.len().div_ceil(64);
-        let mut matrix = vec![vec![0u64; words]; faults.len()];
-        for (base, chunk) in tests.chunks(64).enumerate() {
-            // Fresh flags per chunk: no dropping, we want every detection.
-            let mut detected = vec![false; faults.len()];
-            self.run_batch(chunk, faults, &mut detected, &mut |fi, lanes| {
-                matrix[fi][base] |= lanes;
-            });
-        }
-        matrix
+        FaultSimEngine::detection_matrix(&mut self.inner, tests, faults).into_rows()
     }
 
-    /// Does a single test detect a single fault?
+    /// Does a single test detect a single fault? See
+    /// [`FaultSimEngine::detects`].
     pub fn detects(&mut self, test: &BroadsideTest, fault: &TransitionFault) -> bool {
-        let mut detected = [false];
-        self.run_batch(
-            std::slice::from_ref(test),
-            std::slice::from_ref(fault),
-            &mut detected,
-            &mut |_, _| {},
-        );
-        detected[0]
-    }
-
-    /// Pack broadside tests and delegate (second state derived from frame 1).
-    fn run_batch(
-        &mut self,
-        tests: &[BroadsideTest],
-        faults: &[TransitionFault],
-        detected: &mut [bool],
-        on_detect: &mut dyn FnMut(usize, u64),
-    ) -> usize {
-        assert!(tests.len() <= 64, "batch too wide");
-        if tests.is_empty() {
-            return 0;
-        }
-        let net = self.net;
-        let n_pi = net.num_inputs();
-        let n_ff = net.num_dffs();
-        let mut v1w = vec![0u64; n_pi];
-        let mut v2w = vec![0u64; n_pi];
-        let mut s1w = vec![0u64; n_ff];
-        for (lane, t) in tests.iter().enumerate() {
-            assert_eq!(t.v1.len(), n_pi, "PI width mismatch");
-            assert_eq!(t.scan_in.len(), n_ff, "state width mismatch");
-            let bit = 1u64 << lane;
-            for i in 0..n_pi {
-                if t.v1.get(i) {
-                    v1w[i] |= bit;
-                }
-                if t.v2.get(i) {
-                    v2w[i] |= bit;
-                }
-            }
-            for (i, w) in s1w.iter_mut().enumerate() {
-                if t.scan_in.get(i) {
-                    *w |= bit;
-                }
-            }
-        }
-        self.run_batch_words(tests.len(), &v1w, &s1w, None, &v2w, faults, detected, on_detect)
-    }
-
-    /// Pack two-pattern tests with explicit second states and delegate.
-    fn run_batch_two_pattern(
-        &mut self,
-        tests: &[TwoPatternTest],
-        faults: &[TransitionFault],
-        detected: &mut [bool],
-        on_detect: &mut dyn FnMut(usize, u64),
-    ) -> usize {
-        assert!(tests.len() <= 64, "batch too wide");
-        if tests.is_empty() {
-            return 0;
-        }
-        let net = self.net;
-        let n_pi = net.num_inputs();
-        let n_ff = net.num_dffs();
-        let mut v1w = vec![0u64; n_pi];
-        let mut v2w = vec![0u64; n_pi];
-        let mut s1w = vec![0u64; n_ff];
-        let mut s2w = vec![0u64; n_ff];
-        for (lane, t) in tests.iter().enumerate() {
-            assert_eq!(t.v1.len(), n_pi, "PI width mismatch");
-            assert_eq!(t.s1.len(), n_ff, "state width mismatch");
-            assert_eq!(t.s2.len(), n_ff, "state width mismatch");
-            let bit = 1u64 << lane;
-            for i in 0..n_pi {
-                if t.v1.get(i) {
-                    v1w[i] |= bit;
-                }
-                if t.v2.get(i) {
-                    v2w[i] |= bit;
-                }
-            }
-            for (i, (w1, w2)) in s1w.iter_mut().zip(s2w.iter_mut()).enumerate() {
-                if t.s1.get(i) {
-                    *w1 |= bit;
-                }
-                if t.s2.get(i) {
-                    *w2 |= bit;
-                }
-            }
-        }
-        self.run_batch_words(
-            tests.len(),
-            &v1w,
-            &s1w,
-            Some(s2w),
-            &v2w,
-            faults,
-            detected,
-            on_detect,
-        )
-    }
-
-    /// Core word-packed batch. `on_detect(fault_idx, lane_mask)` fires for
-    /// each newly detected fault with the mask of detecting lanes.
-    #[allow(clippy::too_many_arguments)]
-    fn run_batch_words(
-        &mut self,
-        n_tests: usize,
-        v1w: &[u64],
-        s1w: &[u64],
-        s2w: Option<Vec<u64>>,
-        v2w: &[u64],
-        faults: &[TransitionFault],
-        detected: &mut [bool],
-        on_detect: &mut dyn FnMut(usize, u64),
-    ) -> usize {
-        let net = self.net;
-        let lanes_mask: u64 = if n_tests == 64 {
-            !0
-        } else {
-            (1u64 << n_tests) - 1
-        };
-
-        // Frame 1 (launch values).
-        let mut frame1 = vec![0u64; net.num_nodes()];
-        comb::load_sources_packed(net, v1w, s1w, &mut frame1);
-        comb::eval_packed(net, &mut frame1);
-        let s2w = s2w.unwrap_or_else(|| comb::next_state_packed(net, &frame1));
-
-        // Frame 2 (fault-free).
-        let mut good = vec![0u64; net.num_nodes()];
-        comb::load_sources_packed(net, v2w, &s2w, &mut good);
-        comb::eval_packed(net, &mut good);
-
-        let mut scratch = good.clone();
-        let mut newly = 0;
-
-        for (fi, fault) in faults.iter().enumerate() {
-            if detected[fi] {
-                continue;
-            }
-            let g = fault.line.index();
-            let init_word: u64 = match fault.transition {
-                Transition::Rise => 0,
-                Transition::Fall => !0,
-            };
-            // Launch condition: g = initial value under pattern 1.
-            let act = match fault.transition {
-                Transition::Rise => !frame1[g],
-                Transition::Fall => frame1[g],
-            } & lanes_mask;
-            if act == 0 {
-                continue;
-            }
-            // Fault effect exists at g only in lanes where the good frame-2
-            // value differs from the stuck value.
-            if act & (good[g] ^ init_word) == 0 {
-                continue;
-            }
-
-            self.cone_cache.entry(fault.line).or_insert_with(|| {
-                
-                net.fanout_cone(fault.line).into_boxed_slice()
-            });
-            let cone = &self.cone_cache[&fault.line];
-
-            scratch[g] = init_word;
-            // cone[0] is the faulty line itself: it must keep the forced
-            // value, so evaluation starts at cone[1].
-            comb::eval_packed_cone(net, &cone[1..], &mut scratch);
-            let mut diff_obs = 0u64;
-            for &c in cone.iter() {
-                if self.observable[c.index()] {
-                    diff_obs |= scratch[c.index()] ^ good[c.index()];
-                }
-            }
-            // Restore scratch to fault-free values.
-            for &c in cone.iter() {
-                scratch[c.index()] = good[c.index()];
-            }
-
-            let det = act & diff_obs;
-            if det != 0 {
-                detected[fi] = true;
-                newly += 1;
-                on_detect(fi, det);
-            }
-        }
-        newly
+        self.inner.detects(test, fault)
     }
 }
 
@@ -387,7 +103,8 @@ pub fn coverage_percent(detected: &[bool]) -> f64 {
 }
 
 /// N-detect coverage: the percentage of faults detected by at least `n`
-/// different tests, from a profile produced by `FaultSim::run_n_detect`.
+/// different tests, from a profile produced by
+/// [`FaultSimEngine::n_detect_profile`].
 ///
 /// # Panics
 ///
@@ -401,192 +118,12 @@ pub fn n_detect_coverage(counts: &[usize], n: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::all_transition_faults;
     use fbt_netlist::rng::Rng;
     use fbt_netlist::s27;
-
-    fn random_tests(n: usize, n_pi: usize, n_ff: usize, seed: u64) -> Vec<BroadsideTest> {
-        let mut rng = Rng::new(seed);
-        (0..n)
-            .map(|_| {
-                BroadsideTest::new(
-                    (0..n_ff).map(|_| rng.bit()).collect(),
-                    (0..n_pi).map(|_| rng.bit()).collect(),
-                    (0..n_pi).map(|_| rng.bit()).collect(),
-                )
-            })
-            .collect()
-    }
-
-    /// Reference scalar implementation: simulate the whole faulty circuit.
-    fn detects_reference(net: &Netlist, t: &BroadsideTest, f: &TransitionFault) -> bool {
-        // Frame 1 values.
-        let mut f1 = vec![false; net.num_nodes()];
-        for (i, &id) in net.inputs().iter().enumerate() {
-            f1[id.index()] = t.v1.get(i);
-        }
-        for (i, &id) in net.dffs().iter().enumerate() {
-            f1[id.index()] = t.scan_in.get(i);
-        }
-        comb::eval_scalar(net, &mut f1);
-        if f1[f.line.index()] != f.transition.initial_value() {
-            return false;
-        }
-        // Frame 2, fault-free.
-        let mut good = vec![false; net.num_nodes()];
-        for (i, &id) in net.inputs().iter().enumerate() {
-            good[id.index()] = t.v2.get(i);
-        }
-        for &d in net.dffs() {
-            good[d.index()] = f1[net.node(d).fanins()[0].index()];
-        }
-        comb::eval_scalar(net, &mut good);
-        // Frame 2, faulty: g stuck at initial value; full re-evaluation with
-        // the forced value (including through reconvergence).
-        let mut faulty = good.clone();
-        for (i, &id) in net.inputs().iter().enumerate() {
-            faulty[id.index()] = t.v2.get(i);
-        }
-        faulty[f.line.index()] = f.transition.initial_value();
-        for &id in net.eval_order() {
-            if id == f.line {
-                continue;
-            }
-            let node = net.node(id);
-            let v = {
-                let vals: Vec<bool> = node.fanins().iter().map(|x| faulty[x.index()]).collect();
-                node.kind().eval(&vals)
-            };
-            faulty[id.index()] = v;
-        }
-        let po_diff = net.outputs().iter().any(|&o| good[o.index()] != faulty[o.index()]);
-        let ns_diff = net.dffs().iter().any(|&d| {
-            let di = net.node(d).fanins()[0].index();
-            good[di] != faulty[di]
-        });
-        po_diff || ns_diff
-    }
-
-    #[test]
-    fn matches_reference_on_s27() {
-        let net = s27();
-        let faults = all_transition_faults(&net);
-        let tests = random_tests(40, 4, 3, 99);
-        let mut fsim = FaultSim::new(&net);
-        for t in &tests {
-            for f in &faults {
-                assert_eq!(
-                    fsim.detects(t, f),
-                    detects_reference(&net, t, f),
-                    "fault {f} test {t:?}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn fault_dropping_counts() {
-        let net = s27();
-        let faults = all_transition_faults(&net);
-        let tests = random_tests(128, 4, 3, 7);
-        let mut detected = vec![false; faults.len()];
-        let mut fsim = FaultSim::new(&net);
-        let n1 = fsim.run(&tests, &faults, &mut detected);
-        assert_eq!(n1, detected.iter().filter(|&&d| d).count());
-        // Re-running the same tests detects nothing new.
-        let n2 = fsim.run(&tests, &faults, &mut detected);
-        assert_eq!(n2, 0);
-        // Random tests on s27 should detect a decent share of faults.
-        assert!(coverage_percent(&detected) > 50.0);
-    }
-
-    #[test]
-    fn first_detection_indices_are_earliest() {
-        let net = s27();
-        let faults = all_transition_faults(&net);
-        let tests = random_tests(100, 4, 3, 21);
-        let mut det_a = vec![false; faults.len()];
-        let mut fsim = FaultSim::new(&net);
-        let first = fsim.run_first_detection(&tests, &faults, &mut det_a);
-        for (fi, f) in faults.iter().enumerate() {
-            if let Some(ti) = first[fi] {
-                assert!(det_a[fi]);
-                // No earlier test detects it.
-                let mut fsim2 = FaultSim::new(&net);
-                for (tj, t) in tests.iter().enumerate().take(ti) {
-                    assert!(!fsim2.detects(t, f), "test {tj} already detects {f}");
-                }
-                assert!(fsim2.detects(&tests[ti], f));
-            } else {
-                assert!(!det_a[fi]);
-            }
-        }
-    }
-
-    #[test]
-    fn batch_equals_single_test_runs() {
-        let net = s27();
-        let faults = all_transition_faults(&net);
-        let tests = random_tests(70, 4, 3, 5);
-        let mut det_batch = vec![false; faults.len()];
-        let mut fsim = FaultSim::new(&net);
-        fsim.run(&tests, &faults, &mut det_batch);
-        let mut det_single = vec![false; faults.len()];
-        for t in &tests {
-            for (fi, f) in faults.iter().enumerate() {
-                if !det_single[fi] && fsim.detects(t, f) {
-                    det_single[fi] = true;
-                }
-            }
-        }
-        assert_eq!(det_batch, det_single);
-    }
-
-    #[test]
-    fn two_pattern_with_natural_state_matches_broadside() {
-        let net = s27();
-        let faults = all_transition_faults(&net);
-        let tests = random_tests(80, 4, 3, 33);
-        let expanded: Vec<crate::TwoPatternTest> = tests
-            .iter()
-            .map(|t| crate::TwoPatternTest::from_broadside(&net, t))
-            .collect();
-        let mut fsim = FaultSim::new(&net);
-        let mut det_a = vec![false; faults.len()];
-        fsim.run(&tests, &faults, &mut det_a);
-        let mut det_b = vec![false; faults.len()];
-        fsim.run_two_pattern(&expanded, &faults, &mut det_b);
-        assert_eq!(det_a, det_b);
-    }
-
-    #[test]
-    fn two_pattern_with_held_state_changes_detection() {
-        // Forcing a different second state must be able to change detection
-        // results (that is the whole point of state holding).
-        let net = s27();
-        let faults = all_transition_faults(&net);
-        let tests = random_tests(60, 4, 3, 77);
-        let mut fsim = FaultSim::new(&net);
-        let natural: Vec<crate::TwoPatternTest> = tests
-            .iter()
-            .map(|t| crate::TwoPatternTest::from_broadside(&net, t))
-            .collect();
-        let held: Vec<crate::TwoPatternTest> = natural
-            .iter()
-            .map(|t| {
-                let mut s2 = t.s2.clone();
-                s2.set(0, !s2.get(0)); // hold/flip one flip-flop
-                crate::TwoPatternTest::new(t.s1.clone(), t.v1.clone(), s2, t.v2.clone())
-            })
-            .collect();
-        let mut det_nat = vec![false; faults.len()];
-        fsim.run_two_pattern(&natural, &faults, &mut det_nat);
-        let mut det_held = vec![false; faults.len()];
-        fsim.run_two_pattern(&held, &faults, &mut det_held);
-        assert_ne!(det_nat, det_held, "held states should alter detections");
-    }
 
     #[test]
     fn coverage_percent_edges() {
@@ -596,36 +133,43 @@ mod tests {
     }
 
     #[test]
-    fn n_detect_profile_consistent_with_plain_run() {
-        let net = s27();
-        let faults = all_transition_faults(&net);
-        let tests = random_tests(120, 4, 3, 55);
-        let mut fsim = FaultSim::new(&net);
-        let counts = fsim.run_n_detect(&tests, &faults, 5);
-        let mut detected = vec![false; faults.len()];
-        fsim.run(&tests, &faults, &mut detected);
-        for (c, d) in counts.iter().zip(&detected) {
-            assert_eq!(*c >= 1, *d, "1-detect must agree with plain detection");
-            assert!(*c <= 5, "cap respected");
-        }
-        // n-detect coverage is non-increasing in n.
-        let c1 = n_detect_coverage(&counts, 1);
-        let c3 = n_detect_coverage(&counts, 3);
-        let c5 = n_detect_coverage(&counts, 5);
-        assert!(c1 >= c3 && c3 >= c5);
-        assert_eq!(c1, coverage_percent(&detected));
+    fn n_detect_coverage_edges() {
+        assert_eq!(n_detect_coverage(&[], 1), 0.0);
+        assert_eq!(n_detect_coverage(&[0, 1, 2, 3], 1), 75.0);
+        assert_eq!(n_detect_coverage(&[0, 1, 2, 3], 3), 25.0);
     }
 
+    /// The deprecated shim gives the same answers as the engine it wraps.
     #[test]
-    fn n_detect_counts_are_exact_for_small_cases() {
+    fn legacy_shim_delegates_faithfully() {
         let net = s27();
         let faults = all_transition_faults(&net);
-        let tests = random_tests(70, 4, 3, 8);
-        let mut fsim = FaultSim::new(&net);
-        let counts = fsim.run_n_detect(&tests, &faults, 1_000);
-        for (fi, f) in faults.iter().enumerate() {
-            let brute = tests.iter().filter(|t| fsim.detects(t, f)).count();
-            assert_eq!(counts[fi], brute, "fault {f}");
-        }
+        let mut rng = Rng::new(17);
+        let tests: Vec<BroadsideTest> = (0..96)
+            .map(|_| {
+                BroadsideTest::new(
+                    (0..3).map(|_| rng.bit()).collect(),
+                    (0..4).map(|_| rng.bit()).collect(),
+                    (0..4).map(|_| rng.bit()).collect(),
+                )
+            })
+            .collect();
+        let mut legacy = FaultSim::new(&net);
+        let mut engine = SerialSim::new(&net);
+        let mut det_l = vec![false; faults.len()];
+        let mut det_e = vec![false; faults.len()];
+        assert_eq!(
+            legacy.run(&tests, &faults, &mut det_l),
+            engine.run(&tests, &faults, &mut det_e)
+        );
+        assert_eq!(det_l, det_e);
+        assert_eq!(
+            legacy.run_n_detect(&tests, &faults, 4),
+            engine.n_detect_profile(&tests, &faults, 4)
+        );
+        assert_eq!(
+            legacy.detection_matrix(&tests, &faults),
+            FaultSimEngine::detection_matrix(&mut engine, &tests, &faults).into_rows()
+        );
     }
 }

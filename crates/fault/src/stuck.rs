@@ -49,7 +49,7 @@ pub struct OnePatternTest {
 
 /// Bit-parallel stuck-at fault simulator (64 tests per word, cone-limited,
 /// fault dropping) — the single-frame sibling of
-/// [`crate::sim::FaultSim`].
+/// the broadside engines in [`crate::engine`].
 #[derive(Debug)]
 pub struct StuckAtSim<'a> {
     net: &'a Netlist,
@@ -181,7 +181,7 @@ impl<'a> StuckAtSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::FaultSim;
+    use crate::engine::{FaultSimEngine, SerialSim};
     use crate::{BroadsideTest, Transition, TransitionFault};
     use fbt_netlist::rng::Rng;
     use fbt_netlist::s27;
@@ -201,7 +201,11 @@ mod tests {
         let mut detected = vec![false; faults.len()];
         sim.run(&tests, &faults, &mut detected);
         let cov = detected.iter().filter(|&&d| d).count();
-        assert!(cov * 10 >= faults.len() * 9, "coverage {cov}/{}", faults.len());
+        assert!(
+            cov * 10 >= faults.len() * 9,
+            "coverage {cov}/{}",
+            faults.len()
+        );
         // Idempotent re-run detects nothing new.
         assert_eq!(sim.run(&tests, &faults, &mut detected), 0);
     }
@@ -212,7 +216,7 @@ mod tests {
         // iff pattern 1 sets the line to v AND pattern 2 detects
         // stuck-at-v.
         let net = s27();
-        let mut fsim = FaultSim::new(&net);
+        let mut fsim = SerialSim::new(&net);
         let mut ssim = StuckAtSim::new(&net);
         let mut rng = Rng::new(13);
         for _ in 0..60 {

@@ -137,7 +137,7 @@ fn representative(net: &Netlist, mut f: TransitionFault) -> TransitionFault {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fbt_netlist::{NetlistBuilder, s27};
+    use fbt_netlist::{s27, NetlistBuilder};
 
     #[test]
     fn full_list_has_two_faults_per_line() {

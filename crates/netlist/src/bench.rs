@@ -62,7 +62,10 @@ pub fn parse(text: &str, name: &str) -> Result<Netlist, NetlistError> {
             match kind {
                 GateKind::Dff => {
                     if args.len() != 1 {
-                        return Err(line_err(format!("DFF takes one argument, got {}", args.len())));
+                        return Err(line_err(format!(
+                            "DFF takes one argument, got {}",
+                            args.len()
+                        )));
                     }
                     b.dff(target, args[0])?;
                 }
@@ -172,8 +175,18 @@ mod tests {
             let name = n.node_name(id);
             let mid = m.find(name).unwrap();
             assert_eq!(m.node(mid).kind(), n.node(id).kind(), "kind of {name}");
-            let mut a: Vec<&str> = n.node(id).fanins().iter().map(|&f| n.node_name(f)).collect();
-            let mut b: Vec<&str> = m.node(mid).fanins().iter().map(|&f| m.node_name(f)).collect();
+            let mut a: Vec<&str> = n
+                .node(id)
+                .fanins()
+                .iter()
+                .map(|&f| n.node_name(f))
+                .collect();
+            let mut b: Vec<&str> = m
+                .node(mid)
+                .fanins()
+                .iter()
+                .map(|&f| m.node_name(f))
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "fanins of {name}");

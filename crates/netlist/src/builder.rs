@@ -52,7 +52,12 @@ impl NetlistBuilder {
         }
     }
 
-    fn define(&mut self, name: &str, kind: GateKind, fanins: Vec<String>) -> Result<NodeId, NetlistError> {
+    fn define(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanins: Vec<String>,
+    ) -> Result<NodeId, NetlistError> {
         if self.by_name.contains_key(name) {
             return Err(NetlistError::DuplicateName(name.to_string()));
         }
@@ -92,7 +97,12 @@ impl NetlistBuilder {
     /// Returns [`NetlistError::DuplicateName`] for a redefinition, or
     /// [`NetlistError::BadFaninCount`] when the arity is invalid for `kind`
     /// (single-input kinds take exactly one fanin, all others at least one).
-    pub fn gate(&mut self, kind: GateKind, name: &str, fanins: &[&str]) -> Result<NodeId, NetlistError> {
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        name: &str,
+        fanins: &[&str],
+    ) -> Result<NodeId, NetlistError> {
         let bad = match kind {
             GateKind::Input | GateKind::Dff => true,
             GateKind::Not | GateKind::Buf => fanins.len() != 1,
@@ -191,7 +201,13 @@ impl NetlistBuilder {
         // level-0 sources and DFF D-inputs do not create combinational edges.
         let mut pending: Vec<usize> = nodes
             .iter()
-            .map(|nd| if nd.kind.is_source() { 0 } else { nd.fanins.len() })
+            .map(|nd| {
+                if nd.kind.is_source() {
+                    0
+                } else {
+                    nd.fanins.len()
+                }
+            })
             .collect();
         let mut levels = vec![0u32; n];
         let mut eval_order = Vec::with_capacity(n);

@@ -1,6 +1,7 @@
-//! Error type for netlist construction and parsing.
+//! Error types: [`NetlistError`] for netlist construction and parsing, and
+//! the workspace-wide [`Error`] that every fallible constructor in the
+//! stack returns (re-exported as `fbt_core::Error` and in `fbt::prelude`).
 
-use std::error::Error;
 use std::fmt;
 
 /// Errors produced while building or parsing a netlist.
@@ -37,7 +38,9 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::DuplicateName(n) => write!(f, "signal `{n}` defined more than once"),
-            NetlistError::UndefinedName(n) => write!(f, "signal `{n}` referenced but never defined"),
+            NetlistError::UndefinedName(n) => {
+                write!(f, "signal `{n}` referenced but never defined")
+            }
             NetlistError::UnknownGateKind(k) => write!(f, "unknown gate kind `{k}`"),
             NetlistError::BadFaninCount { name, got } => {
                 write!(f, "gate `{name}` has invalid fanin count {got}")
@@ -53,7 +56,70 @@ impl fmt::Display for NetlistError {
     }
 }
 
-impl Error for NetlistError {}
+impl std::error::Error for NetlistError {}
+
+/// The workspace-wide error type.
+///
+/// This crate is the root of the dependency graph, so the shared enum lives
+/// here; higher layers (`fbt-sim`, `fbt-fault`, `fbt-core`) add their
+/// failure modes as variants and re-export the type. Panicking constructors
+/// (`Bits::from_str01`, `BroadsideTest::new`, ...) are thin `expect`
+/// wrappers over the `try_` forms that return this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A netlist could not be built or parsed.
+    Netlist(NetlistError),
+    /// A bit-string contained a character other than `0` or `1`.
+    InvalidBitChar {
+        /// 0-based character position.
+        index: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// Two widths that must agree did not.
+    WidthMismatch {
+        /// What was being constructed or compared.
+        what: &'static str,
+        /// The width required.
+        expected: usize,
+        /// The width supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Netlist(e) => e.fmt(f),
+            Error::InvalidBitChar { index, found } => {
+                write!(f, "invalid bit character {found:?} at position {index}")
+            }
+            Error::WidthMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(f, "{what}: width mismatch (expected {expected}, got {got})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for Error {
+    fn from(e: NetlistError) -> Self {
+        Error::Netlist(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -65,9 +131,15 @@ mod tests {
             NetlistError::DuplicateName("x".into()),
             NetlistError::UndefinedName("y".into()),
             NetlistError::UnknownGateKind("Z".into()),
-            NetlistError::BadFaninCount { name: "g".into(), got: 0 },
+            NetlistError::BadFaninCount {
+                name: "g".into(),
+                got: 0,
+            },
             NetlistError::CombinationalCycle("c".into()),
-            NetlistError::Parse { line: 3, message: "bad".into() },
+            NetlistError::Parse {
+                line: 3,
+                message: "bad".into(),
+            },
             NetlistError::NoSources,
         ];
         for e in errs {
@@ -75,5 +147,25 @@ mod tests {
             assert!(!s.is_empty());
             assert!(!s.ends_with('.'));
         }
+    }
+
+    #[test]
+    fn shared_error_display_and_source() {
+        use std::error::Error as _;
+        let e = Error::from(NetlistError::NoSources);
+        assert!(e.source().is_some());
+        assert_eq!(e.to_string(), NetlistError::NoSources.to_string());
+        let e = Error::InvalidBitChar {
+            index: 2,
+            found: 'x',
+        };
+        assert!(e.to_string().contains("position 2"));
+        assert!(e.source().is_none());
+        let e = Error::WidthMismatch {
+            what: "broadside test",
+            expected: 4,
+            got: 5,
+        };
+        assert!(e.to_string().contains("expected 4"));
     }
 }

@@ -47,7 +47,7 @@ pub mod synth;
 pub mod verilog;
 
 pub use builder::NetlistBuilder;
-pub use error::NetlistError;
+pub use error::{Error, NetlistError};
 pub use gate::GateKind;
 pub use netlist::{Netlist, Node, NodeId};
 

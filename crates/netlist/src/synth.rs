@@ -45,11 +45,9 @@ impl CircuitSpec {
     /// Create a spec. The seed defaults to a hash of the name so that each
     /// named circuit is unique yet reproducible.
     pub fn new(name: &str, n_pi: usize, n_po: usize, n_ff: usize, n_gates: usize) -> Self {
-        let seed = name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            });
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
         CircuitSpec {
             name: name.to_string(),
             n_pi,
@@ -341,7 +339,8 @@ pub fn generate(spec: &CircuitSpec) -> Netlist {
         let name = sig_name(idx);
         let args: Vec<String> = fanins[idx].iter().map(|&f| sig_name(f)).collect();
         let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
-        b.gate(kinds[idx], &name, &arg_refs).expect("unique gate names");
+        b.gate(kinds[idx], &name, &arg_refs)
+            .expect("unique gate names");
     }
     for &d in po_drivers.iter().take(spec.n_po) {
         b.output(&sig_name(d)).expect("output declaration");
@@ -477,9 +476,7 @@ mod tests {
         let n = generate(&spec);
         let dangling = n
             .node_ids()
-            .filter(|&id| {
-                n.node(id).fanouts().is_empty() && !n.is_po_driver(id)
-            })
+            .filter(|&id| n.node(id).fanouts().is_empty() && !n.is_po_driver(id))
             .count();
         assert!(
             dangling * 50 <= n.num_nodes(),
@@ -492,7 +489,11 @@ mod tests {
     fn circuits_have_depth() {
         let spec = find("s1196").unwrap();
         let n = generate(&spec);
-        assert!(n.depth() >= 6, "depth {} too shallow to be interesting", n.depth());
+        assert!(
+            n.depth() >= 6,
+            "depth {} too shallow to be interesting",
+            n.depth()
+        );
     }
 
     #[test]

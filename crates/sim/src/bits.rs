@@ -47,17 +47,36 @@ impl Bits {
     ///
     /// # Panics
     ///
-    /// Panics on characters other than `0` and `1`.
+    /// Panics on characters other than `0` and `1`; use
+    /// [`Bits::try_from_str01`] for a fallible version.
     pub fn from_str01(s: &str) -> Self {
+        Bits::try_from_str01(s).expect("invalid bit string")
+    }
+
+    /// Build from a `0`/`1` string, most significant bit first, reporting
+    /// the first offending character instead of panicking.
+    ///
+    /// ```
+    /// use fbt_sim::Bits;
+    /// use fbt_netlist::Error;
+    ///
+    /// assert_eq!(Bits::try_from_str01("0110").unwrap().len(), 4);
+    /// assert_eq!(
+    ///     Bits::try_from_str01("01x0"),
+    ///     Err(Error::InvalidBitChar { index: 2, found: 'x' })
+    /// );
+    /// ```
+    pub fn try_from_str01(s: &str) -> Result<Self, fbt_netlist::Error> {
         let bools: Vec<bool> = s
             .chars()
-            .map(|c| match c {
-                '0' => false,
-                '1' => true,
-                other => panic!("invalid bit character {other:?}"),
+            .enumerate()
+            .map(|(index, c)| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                found => Err(fbt_netlist::Error::InvalidBitChar { index, found }),
             })
-            .collect();
-        Bits::from_bools(&bools)
+            .collect::<Result<_, _>>()?;
+        Ok(Bits::from_bools(&bools))
     }
 
     /// Number of bits.

@@ -6,8 +6,8 @@
 //! 30 × 30 000 cycles), an event-driven sweep touches only the affected
 //! cones. Results are bit-identical to the full pass (property-tested).
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use fbt_netlist::{Netlist, NodeId};
 
@@ -61,7 +61,11 @@ impl<'a> EventSim<'a> {
         // potentially-changed fanins at lower levels settled.
         let mut queue: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
         let mut changed = 0usize;
-        let touch_sources = |sim: &mut Self, id: NodeId, v: bool, queue: &mut BinaryHeap<Reverse<(u32, u32)>>, changed: &mut usize| {
+        let touch_sources = |sim: &mut Self,
+                             id: NodeId,
+                             v: bool,
+                             queue: &mut BinaryHeap<Reverse<(u32, u32)>>,
+                             changed: &mut usize| {
             if sim.vals[id.index()] != v {
                 sim.vals[id.index()] = v;
                 *changed += 1;

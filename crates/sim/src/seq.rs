@@ -112,11 +112,7 @@ impl<'a> SeqSim<'a> {
         comb::eval_scalar(net, &mut self.vals);
 
         let switching_activity = self.prev_vals.as_ref().map(|prev| {
-            let toggles = prev
-                .iter()
-                .zip(&self.vals)
-                .filter(|(a, b)| a != b)
-                .count();
+            let toggles = prev.iter().zip(&self.vals).filter(|(a, b)| a != b).count();
             toggles as f64 / net.num_nodes() as f64
         });
 
@@ -163,10 +159,7 @@ impl Trajectory {
     /// The peak defined switching activity along the trajectory, or 0.0 if
     /// none is defined.
     pub fn peak_swa(&self) -> f64 {
-        self.swa
-            .iter()
-            .flatten()
-            .fold(0.0f64, |a, &b| a.max(b))
+        self.swa.iter().flatten().fold(0.0f64, |a, &b| a.max(b))
     }
 }
 

@@ -155,10 +155,7 @@ pub fn eval_tv(net: &Netlist, vals: &mut [Trit]) {
     assert_eq!(vals.len(), net.num_nodes(), "value buffer size mismatch");
     for &id in net.eval_order() {
         let node = net.node(id);
-        vals[id.index()] = eval_gate_tv(
-            node.kind(),
-            node.fanins().iter().map(|f| vals[f.index()]),
-        );
+        vals[id.index()] = eval_gate_tv(node.kind(), node.fanins().iter().map(|f| vals[f.index()]));
     }
 }
 
@@ -196,11 +193,23 @@ mod tests {
     #[test]
     fn controlling_values_dominate_x() {
         use GateKind::*;
-        assert_eq!(eval_gate_tv(And, [Trit::Zero, Trit::X].into_iter()), Trit::Zero);
+        assert_eq!(
+            eval_gate_tv(And, [Trit::Zero, Trit::X].into_iter()),
+            Trit::Zero
+        );
         assert_eq!(eval_gate_tv(And, [Trit::One, Trit::X].into_iter()), Trit::X);
-        assert_eq!(eval_gate_tv(Nand, [Trit::Zero, Trit::X].into_iter()), Trit::One);
-        assert_eq!(eval_gate_tv(Or, [Trit::One, Trit::X].into_iter()), Trit::One);
-        assert_eq!(eval_gate_tv(Nor, [Trit::One, Trit::X].into_iter()), Trit::Zero);
+        assert_eq!(
+            eval_gate_tv(Nand, [Trit::Zero, Trit::X].into_iter()),
+            Trit::One
+        );
+        assert_eq!(
+            eval_gate_tv(Or, [Trit::One, Trit::X].into_iter()),
+            Trit::One
+        );
+        assert_eq!(
+            eval_gate_tv(Nor, [Trit::One, Trit::X].into_iter()),
+            Trit::Zero
+        );
         assert_eq!(eval_gate_tv(Xor, [Trit::One, Trit::X].into_iter()), Trit::X);
         assert_eq!(eval_gate_tv(Not, [Trit::X].into_iter()), Trit::X);
     }
@@ -262,7 +271,12 @@ mod tests {
                 for id in net.node_ids() {
                     let p = partial[id.index()];
                     if p.is_specified() {
-                        assert_eq!(p, full[id.index()], "X-monotonicity at {}", net.node_name(id));
+                        assert_eq!(
+                            p,
+                            full[id.index()],
+                            "X-monotonicity at {}",
+                            net.node_name(id)
+                        );
                     }
                 }
             }

@@ -43,7 +43,11 @@ pub fn arrival_times(
             if !constraint.allows(g, dir) {
                 continue;
             }
-            let in_dir = if node.kind().inverts() { dir.flip() } else { dir };
+            let in_dir = if node.kind().inverts() {
+                dir.flip()
+            } else {
+                dir
+            };
             let mut best = f64::NEG_INFINITY;
             for &f in node.fanins() {
                 let a = at[f.index()][idx(in_dir)];
@@ -106,7 +110,11 @@ pub fn slack_report(
             }
         })
         .collect();
-    entries.sort_by(|a, b| a.slack.partial_cmp(&b.slack).unwrap_or(std::cmp::Ordering::Equal));
+    entries.sort_by(|a, b| {
+        a.slack
+            .partial_cmp(&b.slack)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     entries
 }
 
@@ -125,8 +133,7 @@ mod tests {
         let worst_at = net
             .node_ids()
             .filter(|&n| {
-                net.is_po_driver(n)
-                    || net.dffs().iter().any(|&d| net.node(d).fanins()[0] == n)
+                net.is_po_driver(n) || net.dffs().iter().any(|&d| net.node(d).fanins()[0] == n)
             })
             .map(|n| at.worst(n))
             .fold(f64::NEG_INFINITY, f64::max);

@@ -100,7 +100,11 @@ pub fn path_delay(
         if !constraint.allows(n, dir) {
             return None;
         }
-        let via = if i > 0 { Some(path.nodes()[i - 1]) } else { None };
+        let via = if i > 0 {
+            Some(path.nodes()[i - 1])
+        } else {
+            None
+        };
         total += edge_delay(net, lib, n, dir, via, constraint);
     }
     Some(total)
@@ -132,13 +136,21 @@ fn suffix_delays(
     let mut suffix = vec![[f64::NEG_INFINITY; 2]; n];
     // Reverse topological order over gates, then sources.
     let continue_from = |suffix: &Vec<[f64; 2]>, id: NodeId, dir: Transition| -> f64 {
-        let mut best = if capture[id.index()] { 0.0 } else { f64::NEG_INFINITY };
+        let mut best = if capture[id.index()] {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        };
         for &fo in net.node(id).fanouts() {
             let fo_node = net.node(fo);
             if fo_node.kind().is_source() {
                 continue;
             }
-            let out_dir = if fo_node.kind().inverts() { dir.flip() } else { dir };
+            let out_dir = if fo_node.kind().inverts() {
+                dir.flip()
+            } else {
+                dir
+            };
             if !constraint.allows(fo, out_dir) {
                 continue;
             }
@@ -347,9 +359,9 @@ mod tests {
         let brute_max = fbt_fault::path::enumerate_paths(&net, usize::MAX)
             .iter()
             .flat_map(|p| {
-                [Transition::Rise, Transition::Fall].into_iter().map(|t| {
-                    path_delay(&net, &LIB, p, t, &Unconstrained).unwrap()
-                })
+                [Transition::Rise, Transition::Fall]
+                    .into_iter()
+                    .map(|t| path_delay(&net, &LIB, p, t, &Unconstrained).unwrap())
             })
             .fold(f64::NEG_INFINITY, f64::max);
         assert!((all[0].delay - brute_max).abs() < 1e-9);

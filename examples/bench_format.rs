@@ -49,6 +49,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         spec.shift_register_len()
     );
     let mut tpg = Tpg::new(spec, 0xACE1);
-    println!("first on-chip vectors: {} {} {}", tpg.next_vector(), tpg.next_vector(), tpg.next_vector());
+    println!(
+        "first on-chip vectors: {} {} {}",
+        tpg.next_vector(),
+        tpg.next_vector(),
+        tpg.next_vector()
+    );
     Ok(())
 }

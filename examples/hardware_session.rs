@@ -9,8 +9,9 @@
 
 use fbt::bist::ScanChains;
 use fbt::core::driver::DrivingBlock;
-use fbt::core::{generate_constrained, run_on_hardware, swafunc, FunctionalBistConfig};
+use fbt::core::run_on_hardware;
 use fbt::netlist::synth;
+use fbt::prelude::*;
 
 fn main() {
     let net = synth::generate(&synth::find("s953").unwrap());

@@ -33,7 +33,11 @@ fn main() {
             i + 1,
             f.original_delay,
             f.final_delay,
-            if f.added_during_recalculation { "new" } else { "-" },
+            if f.added_during_recalculation {
+                "new"
+            } else {
+                "-"
+            },
             f.fault.path.display(&net),
             f.fault.source_transition
         );

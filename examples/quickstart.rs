@@ -6,8 +6,8 @@
 //! ```
 
 use fbt::core::driver::DrivingBlock;
-use fbt::core::{generate_constrained, swafunc, FunctionalBistConfig};
 use fbt::netlist::s27;
+use fbt::prelude::*;
 
 fn main() {
     // 1. A gate-level sequential circuit (the genuine ISCAS89 s27).
@@ -19,7 +19,10 @@ fn main() {
     //    inputs are unconstrained ("buffers").
     let cfg = FunctionalBistConfig::scaled();
     let bound = swafunc(&circuit, &DrivingBlock::Buffers, &cfg);
-    println!("SWAfunc = {:.2}% of lines switching per cycle", bound * 100.0);
+    println!(
+        "SWAfunc = {:.2}% of lines switching per cycle",
+        bound * 100.0
+    );
 
     // 3. Generate functional broadside tests on-chip: multi-segment
     //    pseudo-random primary-input sequences whose every clock cycle
@@ -42,4 +45,31 @@ fn main() {
         bound * 100.0
     );
     assert!(outcome.peak_swa <= bound + 1e-12, "the bound is hard");
+
+    // 4. The unified fault-simulation engine API: the multi-threaded
+    //    packed-parallel engine and the serial oracle agree bit for bit.
+    let faults = collapse(&circuit, &all_transition_faults(&circuit));
+    let mut rng = fbt::netlist::rng::Rng::new(1);
+    let tests: Vec<BroadsideTest> = (0..256)
+        .map(|_| {
+            BroadsideTest::new(
+                (0..circuit.num_dffs()).map(|_| rng.bit()).collect(),
+                (0..circuit.num_inputs()).map(|_| rng.bit()).collect(),
+                (0..circuit.num_inputs()).map(|_| rng.bit()).collect(),
+            )
+        })
+        .collect();
+    let mut packed = PackedParallelSim::new(&circuit);
+    let mut serial = SerialSim::new(&circuit);
+    let mut det_packed = vec![false; faults.len()];
+    let mut det_serial = vec![false; faults.len()];
+    packed.run(&tests, &faults, &mut det_packed);
+    serial.run(&tests, &faults, &mut det_serial);
+    assert_eq!(det_packed, det_serial, "engines are bit-identical");
+    println!(
+        "{} and {} agree: {:.2}% coverage from 256 random broadside tests",
+        packed.name(),
+        serial.name(),
+        fbt::fault::coverage_percent(&det_packed)
+    );
 }

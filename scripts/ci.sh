@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build and the tier-1 test command.
+#
+# Everything here runs without network access — the workspace has no
+# external dependencies and the proptest-based suites are feature-gated
+# off by default.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy (workspace; engine module denies warnings) =="
+# The fault-simulation engine is the PR-critical subsystem: any clippy
+# warning in fbt-fault is a hard failure. The rest of the workspace is
+# linted at default level so new warnings surface in the log.
+cargo clippy -p fbt-fault --all-targets -- -D warnings
+cargo clippy --workspace --all-targets
+
+echo "== offline release build =="
+cargo build --release --offline
+
+echo "== tier-1 tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -39,3 +39,28 @@ pub use fbt_fault as fault;
 pub use fbt_netlist as netlist;
 pub use fbt_sim as sim;
 pub use fbt_timing as timing;
+
+pub mod prelude {
+    //! The names almost every user of the workspace needs, in one import.
+    //!
+    //! ```
+    //! use fbt::prelude::*;
+    //!
+    //! let net = fbt::netlist::s27();
+    //! let faults = all_transition_faults(&net);
+    //! let mut engine = PackedParallelSim::new(&net);
+    //! let mut detected = vec![false; faults.len()];
+    //! engine.run(&[], &faults, &mut detected);
+    //! ```
+
+    pub use fbt_core::{
+        generate_constrained, generate_unconstrained, improve_with_holding, swafunc, Error,
+        FunctionalBistConfig,
+    };
+    pub use fbt_fault::{
+        all_transition_faults, collapse, BroadsideTest, FaultSimEngine, FaultSimOptions,
+        PackedParallelSim, SerialSim, TransitionFault, TwoPatternTest,
+    };
+    pub use fbt_netlist::{Netlist, NetlistBuilder, NodeId};
+    pub use fbt_sim::Bits;
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cube-05241b305bfa9b10.d: crates/bench/src/bin/ablation_cube.rs
+
+/root/repo/target/debug/deps/ablation_cube-05241b305bfa9b10: crates/bench/src/bin/ablation_cube.rs
+
+crates/bench/src/bin/ablation_cube.rs:

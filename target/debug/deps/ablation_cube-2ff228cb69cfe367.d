@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cube-2ff228cb69cfe367.d: crates/bench/src/bin/ablation_cube.rs
+
+/root/repo/target/debug/deps/ablation_cube-2ff228cb69cfe367: crates/bench/src/bin/ablation_cube.rs
+
+crates/bench/src/bin/ablation_cube.rs:

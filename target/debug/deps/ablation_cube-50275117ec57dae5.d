@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cube-50275117ec57dae5.d: crates/bench/src/bin/ablation_cube.rs
+
+/root/repo/target/debug/deps/ablation_cube-50275117ec57dae5: crates/bench/src/bin/ablation_cube.rs
+
+crates/bench/src/bin/ablation_cube.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cube-84cd97c0766cb83f.d: crates/bench/src/bin/ablation_cube.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cube-84cd97c0766cb83f.rmeta: crates/bench/src/bin/ablation_cube.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

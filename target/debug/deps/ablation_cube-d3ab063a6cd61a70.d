@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cube-d3ab063a6cd61a70.d: crates/bench/src/bin/ablation_cube.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cube-d3ab063a6cd61a70.rmeta: crates/bench/src/bin/ablation_cube.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

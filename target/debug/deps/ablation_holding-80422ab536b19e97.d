@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_holding-80422ab536b19e97.d: crates/bench/src/bin/ablation_holding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_holding-80422ab536b19e97.rmeta: crates/bench/src/bin/ablation_holding.rs Cargo.toml
+
+crates/bench/src/bin/ablation_holding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

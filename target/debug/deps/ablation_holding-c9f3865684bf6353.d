@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_holding-c9f3865684bf6353.d: crates/bench/src/bin/ablation_holding.rs
+
+/root/repo/target/debug/deps/ablation_holding-c9f3865684bf6353: crates/bench/src/bin/ablation_holding.rs
+
+crates/bench/src/bin/ablation_holding.rs:

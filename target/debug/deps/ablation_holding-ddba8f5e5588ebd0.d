@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_holding-ddba8f5e5588ebd0.d: crates/bench/src/bin/ablation_holding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_holding-ddba8f5e5588ebd0.rmeta: crates/bench/src/bin/ablation_holding.rs Cargo.toml
+
+crates/bench/src/bin/ablation_holding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_holding-e0c7ab13e4125c43.d: crates/bench/src/bin/ablation_holding.rs
+
+/root/repo/target/debug/deps/ablation_holding-e0c7ab13e4125c43: crates/bench/src/bin/ablation_holding.rs
+
+crates/bench/src/bin/ablation_holding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_holding-ec0b3f4d59359ffb.d: crates/bench/src/bin/ablation_holding.rs
+
+/root/repo/target/debug/deps/ablation_holding-ec0b3f4d59359ffb: crates/bench/src/bin/ablation_holding.rs
+
+crates/bench/src/bin/ablation_holding.rs:

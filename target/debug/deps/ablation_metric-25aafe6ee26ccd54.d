@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_metric-25aafe6ee26ccd54.d: crates/bench/src/bin/ablation_metric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_metric-25aafe6ee26ccd54.rmeta: crates/bench/src/bin/ablation_metric.rs Cargo.toml
+
+crates/bench/src/bin/ablation_metric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_metric-601b7084863dc22f.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/debug/deps/ablation_metric-601b7084863dc22f: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_metric-ab0bdbd381bd784e.d: crates/bench/src/bin/ablation_metric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_metric-ab0bdbd381bd784e.rmeta: crates/bench/src/bin/ablation_metric.rs Cargo.toml
+
+crates/bench/src/bin/ablation_metric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_metric-b008e13be422fbdd.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/debug/deps/ablation_metric-b008e13be422fbdd: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

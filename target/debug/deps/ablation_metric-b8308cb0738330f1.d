@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_metric-b8308cb0738330f1.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/debug/deps/ablation_metric-b8308cb0738330f1: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tpg-5c8ec259e0037b37.d: crates/bench/src/bin/ablation_tpg.rs
+
+/root/repo/target/debug/deps/ablation_tpg-5c8ec259e0037b37: crates/bench/src/bin/ablation_tpg.rs
+
+crates/bench/src/bin/ablation_tpg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tpg-70b56353bc85ebb3.d: crates/bench/src/bin/ablation_tpg.rs
+
+/root/repo/target/debug/deps/ablation_tpg-70b56353bc85ebb3: crates/bench/src/bin/ablation_tpg.rs
+
+crates/bench/src/bin/ablation_tpg.rs:

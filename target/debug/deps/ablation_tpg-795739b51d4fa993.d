@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tpg-795739b51d4fa993.d: crates/bench/src/bin/ablation_tpg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tpg-795739b51d4fa993.rmeta: crates/bench/src/bin/ablation_tpg.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tpg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tpg-8b7bc47f55bdd3d3.d: crates/bench/src/bin/ablation_tpg.rs
+
+/root/repo/target/debug/deps/ablation_tpg-8b7bc47f55bdd3d3: crates/bench/src/bin/ablation_tpg.rs
+
+crates/bench/src/bin/ablation_tpg.rs:

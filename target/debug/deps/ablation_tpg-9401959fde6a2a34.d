@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tpg-9401959fde6a2a34.d: crates/bench/src/bin/ablation_tpg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tpg-9401959fde6a2a34.rmeta: crates/bench/src/bin/ablation_tpg.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tpg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

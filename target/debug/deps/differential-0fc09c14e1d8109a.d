@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-0fc09c14e1d8109a.d: crates/fault/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-0fc09c14e1d8109a: crates/fault/tests/differential.rs
+
+crates/fault/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-9d30a156c1a89fe7.d: crates/fault/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-9d30a156c1a89fe7.rmeta: crates/fault/tests/differential.rs Cargo.toml
+
+crates/fault/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-04b704924f7e3162.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-04b704924f7e3162: tests/end_to_end.rs
+
+tests/end_to_end.rs:

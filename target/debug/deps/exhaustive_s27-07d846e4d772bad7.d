@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive_s27-07d846e4d772bad7.d: crates/atpg/tests/exhaustive_s27.rs
+
+/root/repo/target/debug/deps/exhaustive_s27-07d846e4d772bad7: crates/atpg/tests/exhaustive_s27.rs
+
+crates/atpg/tests/exhaustive_s27.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exhaustive_s27-b2528613ae10cc9b.d: crates/atpg/tests/exhaustive_s27.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexhaustive_s27-b2528613ae10cc9b.rmeta: crates/atpg/tests/exhaustive_s27.rs Cargo.toml
+
+crates/atpg/tests/exhaustive_s27.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fbt-0cca41af327b06d0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfbt-0cca41af327b06d0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfbt-0cca41af327b06d0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fbt-0d7dba3c64dfb2fe.d: src/lib.rs
+
+/root/repo/target/debug/deps/fbt-0d7dba3c64dfb2fe: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fbt-32d20ee274d9967d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt-32d20ee274d9967d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

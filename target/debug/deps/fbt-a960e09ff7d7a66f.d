@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fbt-a960e09ff7d7a66f.d: src/lib.rs
+
+/root/repo/target/debug/deps/fbt-a960e09ff7d7a66f: src/lib.rs
+
+src/lib.rs:

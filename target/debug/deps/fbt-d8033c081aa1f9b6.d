@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fbt-d8033c081aa1f9b6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt-d8033c081aa1f9b6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

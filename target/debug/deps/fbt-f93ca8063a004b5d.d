@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fbt-f93ca8063a004b5d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfbt-f93ca8063a004b5d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfbt-f93ca8063a004b5d.rmeta: src/lib.rs
+
+src/lib.rs:

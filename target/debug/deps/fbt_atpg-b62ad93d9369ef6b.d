@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fbt_atpg-b62ad93d9369ef6b.d: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt_atpg-b62ad93d9369ef6b.rmeta: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs Cargo.toml
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/compaction.rs:
+crates/atpg/src/frames.rs:
+crates/atpg/src/implic.rs:
+crates/atpg/src/necessary.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/test_cube.rs:
+crates/atpg/src/tpdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

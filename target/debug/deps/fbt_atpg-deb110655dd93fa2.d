@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fbt_atpg-deb110655dd93fa2.d: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs
+
+/root/repo/target/debug/deps/fbt_atpg-deb110655dd93fa2: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/compaction.rs:
+crates/atpg/src/frames.rs:
+crates/atpg/src/implic.rs:
+crates/atpg/src/necessary.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/test_cube.rs:
+crates/atpg/src/tpdf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fbt_atpg-e3e11684a2d5fdb5.d: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs
+
+/root/repo/target/debug/deps/libfbt_atpg-e3e11684a2d5fdb5.rlib: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs
+
+/root/repo/target/debug/deps/libfbt_atpg-e3e11684a2d5fdb5.rmeta: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/compaction.rs:
+crates/atpg/src/frames.rs:
+crates/atpg/src/implic.rs:
+crates/atpg/src/necessary.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/test_cube.rs:
+crates/atpg/src/tpdf.rs:

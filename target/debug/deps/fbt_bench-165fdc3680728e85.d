@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fbt_bench-165fdc3680728e85.d: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+/root/repo/target/debug/deps/libfbt_bench-165fdc3680728e85.rlib: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+/root/repo/target/debug/deps/libfbt_bench-165fdc3680728e85.rmeta: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ch2.rs:
+crates/bench/src/ch3.rs:
+crates/bench/src/ch4.rs:

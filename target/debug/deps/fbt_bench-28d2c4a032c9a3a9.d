@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fbt_bench-28d2c4a032c9a3a9.d: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+/root/repo/target/debug/deps/libfbt_bench-28d2c4a032c9a3a9.rlib: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+/root/repo/target/debug/deps/libfbt_bench-28d2c4a032c9a3a9.rmeta: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ch2.rs:
+crates/bench/src/ch3.rs:
+crates/bench/src/ch4.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fbt_bench-4886c333f83239e8.d: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt_bench-4886c333f83239e8.rmeta: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ch2.rs:
+crates/bench/src/ch3.rs:
+crates/bench/src/ch4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

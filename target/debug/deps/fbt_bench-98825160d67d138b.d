@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fbt_bench-98825160d67d138b.d: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+/root/repo/target/debug/deps/fbt_bench-98825160d67d138b: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ch2.rs:
+crates/bench/src/ch3.rs:
+crates/bench/src/ch4.rs:

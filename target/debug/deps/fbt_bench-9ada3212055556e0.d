@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fbt_bench-9ada3212055556e0.d: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+/root/repo/target/debug/deps/fbt_bench-9ada3212055556e0: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ch2.rs:
+crates/bench/src/ch3.rs:
+crates/bench/src/ch4.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fbt_bist-3b93745b4ab13b4b.d: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/holding.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+/root/repo/target/debug/deps/libfbt_bist-3b93745b4ab13b4b.rlib: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/holding.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+/root/repo/target/debug/deps/libfbt_bist-3b93745b4ab13b4b.rmeta: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/holding.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/area.rs:
+crates/bist/src/controller.rs:
+crates/bist/src/counter.rs:
+crates/bist/src/cube.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/misr.rs:
+crates/bist/src/holding.rs:
+crates/bist/src/scan.rs:
+crates/bist/src/schedule.rs:
+crates/bist/src/tpg.rs:
+crates/bist/src/tpg73.rs:
+crates/bist/src/weighted.rs:

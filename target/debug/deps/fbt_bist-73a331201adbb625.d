@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fbt_bist-73a331201adbb625.d: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+/root/repo/target/debug/deps/fbt_bist-73a331201adbb625: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/area.rs:
+crates/bist/src/controller.rs:
+crates/bist/src/counter.rs:
+crates/bist/src/cube.rs:
+crates/bist/src/holding.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/misr.rs:
+crates/bist/src/scan.rs:
+crates/bist/src/schedule.rs:
+crates/bist/src/tpg.rs:
+crates/bist/src/tpg73.rs:
+crates/bist/src/weighted.rs:

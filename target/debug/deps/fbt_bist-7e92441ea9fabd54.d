@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/fbt_bist-7e92441ea9fabd54.d: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt_bist-7e92441ea9fabd54.rmeta: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs Cargo.toml
+
+crates/bist/src/lib.rs:
+crates/bist/src/area.rs:
+crates/bist/src/controller.rs:
+crates/bist/src/counter.rs:
+crates/bist/src/cube.rs:
+crates/bist/src/holding.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/misr.rs:
+crates/bist/src/scan.rs:
+crates/bist/src/schedule.rs:
+crates/bist/src/tpg.rs:
+crates/bist/src/tpg73.rs:
+crates/bist/src/weighted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

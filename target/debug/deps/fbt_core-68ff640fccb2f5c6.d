@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/fbt_core-68ff640fccb2f5c6.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/constrained.rs crates/core/src/curve.rs crates/core/src/domains.rs crates/core/src/driver.rs crates/core/src/experiment.rs crates/core/src/extract.rs crates/core/src/holding.rs crates/core/src/overtest.rs crates/core/src/session.rs crates/core/src/stp.rs crates/core/src/unconstrained.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt_core-68ff640fccb2f5c6.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/constrained.rs crates/core/src/curve.rs crates/core/src/domains.rs crates/core/src/driver.rs crates/core/src/experiment.rs crates/core/src/extract.rs crates/core/src/holding.rs crates/core/src/overtest.rs crates/core/src/session.rs crates/core/src/stp.rs crates/core/src/unconstrained.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/constrained.rs:
+crates/core/src/curve.rs:
+crates/core/src/domains.rs:
+crates/core/src/driver.rs:
+crates/core/src/experiment.rs:
+crates/core/src/extract.rs:
+crates/core/src/holding.rs:
+crates/core/src/overtest.rs:
+crates/core/src/session.rs:
+crates/core/src/stp.rs:
+crates/core/src/unconstrained.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fbt_core-6a75fc8db594e13a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/constrained.rs crates/core/src/curve.rs crates/core/src/domains.rs crates/core/src/driver.rs crates/core/src/experiment.rs crates/core/src/extract.rs crates/core/src/holding.rs crates/core/src/overtest.rs crates/core/src/session.rs crates/core/src/stp.rs crates/core/src/unconstrained.rs
+
+/root/repo/target/debug/deps/fbt_core-6a75fc8db594e13a: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/constrained.rs crates/core/src/curve.rs crates/core/src/domains.rs crates/core/src/driver.rs crates/core/src/experiment.rs crates/core/src/extract.rs crates/core/src/holding.rs crates/core/src/overtest.rs crates/core/src/session.rs crates/core/src/stp.rs crates/core/src/unconstrained.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/constrained.rs:
+crates/core/src/curve.rs:
+crates/core/src/domains.rs:
+crates/core/src/driver.rs:
+crates/core/src/experiment.rs:
+crates/core/src/extract.rs:
+crates/core/src/holding.rs:
+crates/core/src/overtest.rs:
+crates/core/src/session.rs:
+crates/core/src/stp.rs:
+crates/core/src/unconstrained.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fbt_core-f83787600913d45c.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/constrained.rs crates/core/src/curve.rs crates/core/src/domains.rs crates/core/src/driver.rs crates/core/src/experiment.rs crates/core/src/extract.rs crates/core/src/holding.rs crates/core/src/overtest.rs crates/core/src/session.rs crates/core/src/stp.rs crates/core/src/unconstrained.rs
+
+/root/repo/target/debug/deps/libfbt_core-f83787600913d45c.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/constrained.rs crates/core/src/curve.rs crates/core/src/domains.rs crates/core/src/driver.rs crates/core/src/experiment.rs crates/core/src/extract.rs crates/core/src/holding.rs crates/core/src/overtest.rs crates/core/src/session.rs crates/core/src/stp.rs crates/core/src/unconstrained.rs
+
+/root/repo/target/debug/deps/libfbt_core-f83787600913d45c.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/constrained.rs crates/core/src/curve.rs crates/core/src/domains.rs crates/core/src/driver.rs crates/core/src/experiment.rs crates/core/src/extract.rs crates/core/src/holding.rs crates/core/src/overtest.rs crates/core/src/session.rs crates/core/src/stp.rs crates/core/src/unconstrained.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/constrained.rs:
+crates/core/src/curve.rs:
+crates/core/src/domains.rs:
+crates/core/src/driver.rs:
+crates/core/src/experiment.rs:
+crates/core/src/extract.rs:
+crates/core/src/holding.rs:
+crates/core/src/overtest.rs:
+crates/core/src/session.rs:
+crates/core/src/stp.rs:
+crates/core/src/unconstrained.rs:

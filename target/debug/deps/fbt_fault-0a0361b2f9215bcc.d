@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fbt_fault-0a0361b2f9215bcc.d: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+/root/repo/target/debug/deps/fbt_fault-0a0361b2f9215bcc: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/broadside.rs:
+crates/fault/src/engine.rs:
+crates/fault/src/path.rs:
+crates/fault/src/sensitize.rs:
+crates/fault/src/sim.rs:
+crates/fault/src/stuck.rs:
+crates/fault/src/transition.rs:

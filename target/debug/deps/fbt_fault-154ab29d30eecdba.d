@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fbt_fault-154ab29d30eecdba.d: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt_fault-154ab29d30eecdba.rmeta: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs Cargo.toml
+
+crates/fault/src/lib.rs:
+crates/fault/src/broadside.rs:
+crates/fault/src/engine.rs:
+crates/fault/src/path.rs:
+crates/fault/src/sensitize.rs:
+crates/fault/src/sim.rs:
+crates/fault/src/stuck.rs:
+crates/fault/src/transition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

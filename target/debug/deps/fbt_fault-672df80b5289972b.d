@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fbt_fault-672df80b5289972b.d: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+/root/repo/target/debug/deps/fbt_fault-672df80b5289972b: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/broadside.rs:
+crates/fault/src/engine.rs:
+crates/fault/src/path.rs:
+crates/fault/src/sensitize.rs:
+crates/fault/src/sim.rs:
+crates/fault/src/stuck.rs:
+crates/fault/src/transition.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fbt_fault-bc5d76d8bae9a27e.d: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+/root/repo/target/debug/deps/libfbt_fault-bc5d76d8bae9a27e.rlib: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+/root/repo/target/debug/deps/libfbt_fault-bc5d76d8bae9a27e.rmeta: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/broadside.rs:
+crates/fault/src/engine.rs:
+crates/fault/src/path.rs:
+crates/fault/src/sensitize.rs:
+crates/fault/src/sim.rs:
+crates/fault/src/stuck.rs:
+crates/fault/src/transition.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fbt_netlist-25ebaa4d0e529127.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/rng.rs crates/netlist/src/synth.rs crates/netlist/src/verilog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt_netlist-25ebaa4d0e529127.rmeta: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/rng.rs crates/netlist/src/synth.rs crates/netlist/src/verilog.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/analysis.rs:
+crates/netlist/src/bench.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/rng.rs:
+crates/netlist/src/synth.rs:
+crates/netlist/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

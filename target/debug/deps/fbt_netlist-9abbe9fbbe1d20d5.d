@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fbt_netlist-9abbe9fbbe1d20d5.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/rng.rs crates/netlist/src/synth.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/fbt_netlist-9abbe9fbbe1d20d5: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/rng.rs crates/netlist/src/synth.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/analysis.rs:
+crates/netlist/src/bench.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/rng.rs:
+crates/netlist/src/synth.rs:
+crates/netlist/src/verilog.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fbt_sim-639a6cfa5edca54e.d: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs
+
+/root/repo/target/debug/deps/libfbt_sim-639a6cfa5edca54e.rlib: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs
+
+/root/repo/target/debug/deps/libfbt_sim-639a6cfa5edca54e.rmeta: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/activity.rs:
+crates/sim/src/bits.rs:
+crates/sim/src/comb.rs:
+crates/sim/src/event.rs:
+crates/sim/src/reset.rs:
+crates/sim/src/seq.rs:
+crates/sim/src/tv.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fbt_sim-98a72aef9faa7168.d: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt_sim-98a72aef9faa7168.rmeta: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/activity.rs:
+crates/sim/src/bits.rs:
+crates/sim/src/comb.rs:
+crates/sim/src/event.rs:
+crates/sim/src/reset.rs:
+crates/sim/src/seq.rs:
+crates/sim/src/tv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fbt_sim-d04548aa8726c650.d: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs
+
+/root/repo/target/debug/deps/fbt_sim-d04548aa8726c650: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/activity.rs:
+crates/sim/src/bits.rs:
+crates/sim/src/comb.rs:
+crates/sim/src/event.rs:
+crates/sim/src/reset.rs:
+crates/sim/src/seq.rs:
+crates/sim/src/tv.rs:

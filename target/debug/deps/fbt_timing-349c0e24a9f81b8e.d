@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fbt_timing-349c0e24a9f81b8e.d: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs
+
+/root/repo/target/debug/deps/fbt_timing-349c0e24a9f81b8e: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/case.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/report.rs:
+crates/timing/src/select.rs:
+crates/timing/src/sta.rs:

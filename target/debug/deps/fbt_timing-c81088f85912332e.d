@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fbt_timing-c81088f85912332e.d: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfbt_timing-c81088f85912332e.rmeta: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/case.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/report.rs:
+crates/timing/src/select.rs:
+crates/timing/src/sta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fbt_timing-d45a23fda2ae049a.d: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs
+
+/root/repo/target/debug/deps/libfbt_timing-d45a23fda2ae049a.rlib: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs
+
+/root/repo/target/debug/deps/libfbt_timing-d45a23fda2ae049a.rmeta: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/case.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/report.rs:
+crates/timing/src/select.rs:
+crates/timing/src/sta.rs:

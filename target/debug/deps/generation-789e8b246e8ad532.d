@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generation-789e8b246e8ad532.d: crates/bench/benches/generation.rs
+
+/root/repo/target/debug/deps/generation-789e8b246e8ad532: crates/bench/benches/generation.rs
+
+crates/bench/benches/generation.rs:

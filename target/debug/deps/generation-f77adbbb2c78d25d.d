@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generation-f77adbbb2c78d25d.d: crates/bench/benches/generation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeneration-f77adbbb2c78d25d.rmeta: crates/bench/benches/generation.rs Cargo.toml
+
+crates/bench/benches/generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-0dca7c32a8bd840d.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-0dca7c32a8bd840d.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-ef8f0a0e91756f82.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-ef8f0a0e91756f82: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-e41d42b0840cbd72.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-e41d42b0840cbd72: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

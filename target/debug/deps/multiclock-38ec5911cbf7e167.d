@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiclock-38ec5911cbf7e167.d: crates/bench/src/bin/multiclock.rs
+
+/root/repo/target/debug/deps/multiclock-38ec5911cbf7e167: crates/bench/src/bin/multiclock.rs
+
+crates/bench/src/bin/multiclock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiclock-6ba24606b1f8bc78.d: crates/bench/src/bin/multiclock.rs
+
+/root/repo/target/debug/deps/multiclock-6ba24606b1f8bc78: crates/bench/src/bin/multiclock.rs
+
+crates/bench/src/bin/multiclock.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multiclock-808e31fcaa43799a.d: crates/bench/src/bin/multiclock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulticlock-808e31fcaa43799a.rmeta: crates/bench/src/bin/multiclock.rs Cargo.toml
+
+crates/bench/src/bin/multiclock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

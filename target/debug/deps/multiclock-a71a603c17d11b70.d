@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiclock-a71a603c17d11b70.d: crates/bench/src/bin/multiclock.rs
+
+/root/repo/target/debug/deps/multiclock-a71a603c17d11b70: crates/bench/src/bin/multiclock.rs
+
+crates/bench/src/bin/multiclock.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multiclock-fc43af119f4dbe59.d: crates/bench/src/bin/multiclock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulticlock-fc43af119f4dbe59.rmeta: crates/bench/src/bin/multiclock.rs Cargo.toml
+
+crates/bench/src/bin/multiclock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ndetect-113797a8a22e381e.d: crates/bench/src/bin/ndetect.rs
+
+/root/repo/target/debug/deps/ndetect-113797a8a22e381e: crates/bench/src/bin/ndetect.rs
+
+crates/bench/src/bin/ndetect.rs:

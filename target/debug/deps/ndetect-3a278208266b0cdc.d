@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ndetect-3a278208266b0cdc.d: crates/bench/src/bin/ndetect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libndetect-3a278208266b0cdc.rmeta: crates/bench/src/bin/ndetect.rs Cargo.toml
+
+crates/bench/src/bin/ndetect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

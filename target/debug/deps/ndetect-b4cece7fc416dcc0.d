@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ndetect-b4cece7fc416dcc0.d: crates/bench/src/bin/ndetect.rs
+
+/root/repo/target/debug/deps/ndetect-b4cece7fc416dcc0: crates/bench/src/bin/ndetect.rs
+
+crates/bench/src/bin/ndetect.rs:

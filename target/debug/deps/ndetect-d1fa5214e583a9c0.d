@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ndetect-d1fa5214e583a9c0.d: crates/bench/src/bin/ndetect.rs
+
+/root/repo/target/debug/deps/ndetect-d1fa5214e583a9c0: crates/bench/src/bin/ndetect.rs
+
+crates/bench/src/bin/ndetect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ndetect-ecde9331783b7a8d.d: crates/bench/src/bin/ndetect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libndetect-ecde9331783b7a8d.rmeta: crates/bench/src/bin/ndetect.rs Cargo.toml
+
+crates/bench/src/bin/ndetect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

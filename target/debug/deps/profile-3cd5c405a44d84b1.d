@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile-3cd5c405a44d84b1.d: crates/bench/src/bin/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile-3cd5c405a44d84b1.rmeta: crates/bench/src/bin/profile.rs Cargo.toml
+
+crates/bench/src/bin/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-43b764b85b156b4d.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-43b764b85b156b4d: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

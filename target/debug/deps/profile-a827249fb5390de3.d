@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-a827249fb5390de3.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-a827249fb5390de3: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-ade33f830695b80b.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-ade33f830695b80b: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

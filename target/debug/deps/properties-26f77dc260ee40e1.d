@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-26f77dc260ee40e1.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-26f77dc260ee40e1: tests/properties.rs
+
+tests/properties.rs:

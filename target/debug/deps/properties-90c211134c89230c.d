@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-90c211134c89230c.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-90c211134c89230c.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_circuits-23433b7c80100c28.d: crates/atpg/tests/random_circuits.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_circuits-23433b7c80100c28.rmeta: crates/atpg/tests/random_circuits.rs Cargo.toml
+
+crates/atpg/tests/random_circuits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

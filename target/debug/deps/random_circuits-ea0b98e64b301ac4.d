@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_circuits-ea0b98e64b301ac4.d: crates/atpg/tests/random_circuits.rs
+
+/root/repo/target/debug/deps/random_circuits-ea0b98e64b301ac4: crates/atpg/tests/random_circuits.rs
+
+crates/atpg/tests/random_circuits.rs:

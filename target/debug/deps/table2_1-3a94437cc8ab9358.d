@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_1-3a94437cc8ab9358.d: crates/bench/src/bin/table2_1.rs
+
+/root/repo/target/debug/deps/table2_1-3a94437cc8ab9358: crates/bench/src/bin/table2_1.rs
+
+crates/bench/src/bin/table2_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_1-8fbc6bf22c3eb46e.d: crates/bench/src/bin/table2_1.rs
+
+/root/repo/target/debug/deps/table2_1-8fbc6bf22c3eb46e: crates/bench/src/bin/table2_1.rs
+
+crates/bench/src/bin/table2_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_1-d92080e879457640.d: crates/bench/src/bin/table2_1.rs
+
+/root/repo/target/debug/deps/table2_1-d92080e879457640: crates/bench/src/bin/table2_1.rs
+
+crates/bench/src/bin/table2_1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_1-f489cf6747c58754.d: crates/bench/src/bin/table2_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_1-f489cf6747c58754.rmeta: crates/bench/src/bin/table2_1.rs Cargo.toml
+
+crates/bench/src/bin/table2_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

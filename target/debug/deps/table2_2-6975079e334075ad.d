@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_2-6975079e334075ad.d: crates/bench/src/bin/table2_2.rs
+
+/root/repo/target/debug/deps/table2_2-6975079e334075ad: crates/bench/src/bin/table2_2.rs
+
+crates/bench/src/bin/table2_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_2-7d5f494ca3e5c3e4.d: crates/bench/src/bin/table2_2.rs
+
+/root/repo/target/debug/deps/table2_2-7d5f494ca3e5c3e4: crates/bench/src/bin/table2_2.rs
+
+crates/bench/src/bin/table2_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_2-8c67d7cdb6b92ed0.d: crates/bench/src/bin/table2_2.rs
+
+/root/repo/target/debug/deps/table2_2-8c67d7cdb6b92ed0: crates/bench/src/bin/table2_2.rs
+
+crates/bench/src/bin/table2_2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_2-970832a15808af63.d: crates/bench/src/bin/table2_2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_2-970832a15808af63.rmeta: crates/bench/src/bin/table2_2.rs Cargo.toml
+
+crates/bench/src/bin/table2_2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

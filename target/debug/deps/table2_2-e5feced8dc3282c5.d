@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_2-e5feced8dc3282c5.d: crates/bench/src/bin/table2_2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_2-e5feced8dc3282c5.rmeta: crates/bench/src/bin/table2_2.rs Cargo.toml
+
+crates/bench/src/bin/table2_2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

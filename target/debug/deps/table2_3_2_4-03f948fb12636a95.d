@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_3_2_4-03f948fb12636a95.d: crates/bench/src/bin/table2_3_2_4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_3_2_4-03f948fb12636a95.rmeta: crates/bench/src/bin/table2_3_2_4.rs Cargo.toml
+
+crates/bench/src/bin/table2_3_2_4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

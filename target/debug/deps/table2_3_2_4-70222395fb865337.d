@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_3_2_4-70222395fb865337.d: crates/bench/src/bin/table2_3_2_4.rs
+
+/root/repo/target/debug/deps/table2_3_2_4-70222395fb865337: crates/bench/src/bin/table2_3_2_4.rs
+
+crates/bench/src/bin/table2_3_2_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_3_2_4-c46c402e87c76db1.d: crates/bench/src/bin/table2_3_2_4.rs
+
+/root/repo/target/debug/deps/table2_3_2_4-c46c402e87c76db1: crates/bench/src/bin/table2_3_2_4.rs
+
+crates/bench/src/bin/table2_3_2_4.rs:

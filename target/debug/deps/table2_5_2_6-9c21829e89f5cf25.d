@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_5_2_6-9c21829e89f5cf25.d: crates/bench/src/bin/table2_5_2_6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_5_2_6-9c21829e89f5cf25.rmeta: crates/bench/src/bin/table2_5_2_6.rs Cargo.toml
+
+crates/bench/src/bin/table2_5_2_6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

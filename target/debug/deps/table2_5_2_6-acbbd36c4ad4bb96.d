@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_5_2_6-acbbd36c4ad4bb96.d: crates/bench/src/bin/table2_5_2_6.rs
+
+/root/repo/target/debug/deps/table2_5_2_6-acbbd36c4ad4bb96: crates/bench/src/bin/table2_5_2_6.rs
+
+crates/bench/src/bin/table2_5_2_6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_5_2_6-c37c14ed05258cfe.d: crates/bench/src/bin/table2_5_2_6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_5_2_6-c37c14ed05258cfe.rmeta: crates/bench/src/bin/table2_5_2_6.rs Cargo.toml
+
+crates/bench/src/bin/table2_5_2_6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_5_2_6-e8ce784f5719314e.d: crates/bench/src/bin/table2_5_2_6.rs
+
+/root/repo/target/debug/deps/table2_5_2_6-e8ce784f5719314e: crates/bench/src/bin/table2_5_2_6.rs
+
+crates/bench/src/bin/table2_5_2_6.rs:

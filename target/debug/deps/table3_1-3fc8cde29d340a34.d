@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_1-3fc8cde29d340a34.d: crates/bench/src/bin/table3_1.rs
+
+/root/repo/target/debug/deps/table3_1-3fc8cde29d340a34: crates/bench/src/bin/table3_1.rs
+
+crates/bench/src/bin/table3_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_1-8cae9d4537dae08b.d: crates/bench/src/bin/table3_1.rs
+
+/root/repo/target/debug/deps/table3_1-8cae9d4537dae08b: crates/bench/src/bin/table3_1.rs
+
+crates/bench/src/bin/table3_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_1-b3e4fdaccc9de39f.d: crates/bench/src/bin/table3_1.rs
+
+/root/repo/target/debug/deps/table3_1-b3e4fdaccc9de39f: crates/bench/src/bin/table3_1.rs
+
+crates/bench/src/bin/table3_1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_1-b5b6690192e820b5.d: crates/bench/src/bin/table3_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_1-b5b6690192e820b5.rmeta: crates/bench/src/bin/table3_1.rs Cargo.toml
+
+crates/bench/src/bin/table3_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_2-2fc56584030a2e34.d: crates/bench/src/bin/table3_2.rs
+
+/root/repo/target/debug/deps/table3_2-2fc56584030a2e34: crates/bench/src/bin/table3_2.rs
+
+crates/bench/src/bin/table3_2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_2-4f2e2d600c520e10.d: crates/bench/src/bin/table3_2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_2-4f2e2d600c520e10.rmeta: crates/bench/src/bin/table3_2.rs Cargo.toml
+
+crates/bench/src/bin/table3_2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_2-5e2f11e4737c086c.d: crates/bench/src/bin/table3_2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_2-5e2f11e4737c086c.rmeta: crates/bench/src/bin/table3_2.rs Cargo.toml
+
+crates/bench/src/bin/table3_2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_2-676ec589957549fd.d: crates/bench/src/bin/table3_2.rs
+
+/root/repo/target/debug/deps/table3_2-676ec589957549fd: crates/bench/src/bin/table3_2.rs
+
+crates/bench/src/bin/table3_2.rs:

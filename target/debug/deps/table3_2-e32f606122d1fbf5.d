@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_2-e32f606122d1fbf5.d: crates/bench/src/bin/table3_2.rs
+
+/root/repo/target/debug/deps/table3_2-e32f606122d1fbf5: crates/bench/src/bin/table3_2.rs
+
+crates/bench/src/bin/table3_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_3-2c4f177b6fc1189d.d: crates/bench/src/bin/table3_3.rs
+
+/root/repo/target/debug/deps/table3_3-2c4f177b6fc1189d: crates/bench/src/bin/table3_3.rs
+
+crates/bench/src/bin/table3_3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_3-384ad470c74ede0f.d: crates/bench/src/bin/table3_3.rs
+
+/root/repo/target/debug/deps/table3_3-384ad470c74ede0f: crates/bench/src/bin/table3_3.rs
+
+crates/bench/src/bin/table3_3.rs:

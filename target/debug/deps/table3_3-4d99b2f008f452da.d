@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_3-4d99b2f008f452da.d: crates/bench/src/bin/table3_3.rs
+
+/root/repo/target/debug/deps/table3_3-4d99b2f008f452da: crates/bench/src/bin/table3_3.rs
+
+crates/bench/src/bin/table3_3.rs:

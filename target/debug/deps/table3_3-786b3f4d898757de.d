@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_3-786b3f4d898757de.d: crates/bench/src/bin/table3_3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_3-786b3f4d898757de.rmeta: crates/bench/src/bin/table3_3.rs Cargo.toml
+
+crates/bench/src/bin/table3_3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_4-424e34745dabb3f3.d: crates/bench/src/bin/table3_4.rs
+
+/root/repo/target/debug/deps/table3_4-424e34745dabb3f3: crates/bench/src/bin/table3_4.rs
+
+crates/bench/src/bin/table3_4.rs:

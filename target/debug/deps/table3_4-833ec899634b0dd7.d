@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_4-833ec899634b0dd7.d: crates/bench/src/bin/table3_4.rs
+
+/root/repo/target/debug/deps/table3_4-833ec899634b0dd7: crates/bench/src/bin/table3_4.rs
+
+crates/bench/src/bin/table3_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_4-9017a4bff41f9eaa.d: crates/bench/src/bin/table3_4.rs
+
+/root/repo/target/debug/deps/table3_4-9017a4bff41f9eaa: crates/bench/src/bin/table3_4.rs
+
+crates/bench/src/bin/table3_4.rs:

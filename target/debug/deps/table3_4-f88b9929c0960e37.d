@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_4-f88b9929c0960e37.d: crates/bench/src/bin/table3_4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_4-f88b9929c0960e37.rmeta: crates/bench/src/bin/table3_4.rs Cargo.toml
+
+crates/bench/src/bin/table3_4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

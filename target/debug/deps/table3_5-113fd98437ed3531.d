@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_5-113fd98437ed3531.d: crates/bench/src/bin/table3_5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_5-113fd98437ed3531.rmeta: crates/bench/src/bin/table3_5.rs Cargo.toml
+
+crates/bench/src/bin/table3_5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

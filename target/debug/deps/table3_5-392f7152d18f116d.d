@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_5-392f7152d18f116d.d: crates/bench/src/bin/table3_5.rs
+
+/root/repo/target/debug/deps/table3_5-392f7152d18f116d: crates/bench/src/bin/table3_5.rs
+
+crates/bench/src/bin/table3_5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_5-996b90e4a528d1d1.d: crates/bench/src/bin/table3_5.rs
+
+/root/repo/target/debug/deps/table3_5-996b90e4a528d1d1: crates/bench/src/bin/table3_5.rs
+
+crates/bench/src/bin/table3_5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_5-bbf85cad2625ffa7.d: crates/bench/src/bin/table3_5.rs
+
+/root/repo/target/debug/deps/table3_5-bbf85cad2625ffa7: crates/bench/src/bin/table3_5.rs
+
+crates/bench/src/bin/table3_5.rs:

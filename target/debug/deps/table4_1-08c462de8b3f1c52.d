@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_1-08c462de8b3f1c52.d: crates/bench/src/bin/table4_1.rs
+
+/root/repo/target/debug/deps/table4_1-08c462de8b3f1c52: crates/bench/src/bin/table4_1.rs
+
+crates/bench/src/bin/table4_1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_1-8679745f373754a0.d: crates/bench/src/bin/table4_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_1-8679745f373754a0.rmeta: crates/bench/src/bin/table4_1.rs Cargo.toml
+
+crates/bench/src/bin/table4_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_1-de93f02f7c9ea0d4.d: crates/bench/src/bin/table4_1.rs
+
+/root/repo/target/debug/deps/table4_1-de93f02f7c9ea0d4: crates/bench/src/bin/table4_1.rs
+
+crates/bench/src/bin/table4_1.rs:

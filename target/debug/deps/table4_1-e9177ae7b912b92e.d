@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_1-e9177ae7b912b92e.d: crates/bench/src/bin/table4_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_1-e9177ae7b912b92e.rmeta: crates/bench/src/bin/table4_1.rs Cargo.toml
+
+crates/bench/src/bin/table4_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_1-ec8cf1238f4c343d.d: crates/bench/src/bin/table4_1.rs
+
+/root/repo/target/debug/deps/table4_1-ec8cf1238f4c343d: crates/bench/src/bin/table4_1.rs
+
+crates/bench/src/bin/table4_1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_2-2f49b486d3d6401c.d: crates/bench/src/bin/table4_2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_2-2f49b486d3d6401c.rmeta: crates/bench/src/bin/table4_2.rs Cargo.toml
+
+crates/bench/src/bin/table4_2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_2-7079589511b319ff.d: crates/bench/src/bin/table4_2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_2-7079589511b319ff.rmeta: crates/bench/src/bin/table4_2.rs Cargo.toml
+
+crates/bench/src/bin/table4_2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

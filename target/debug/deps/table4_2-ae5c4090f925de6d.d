@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_2-ae5c4090f925de6d.d: crates/bench/src/bin/table4_2.rs
+
+/root/repo/target/debug/deps/table4_2-ae5c4090f925de6d: crates/bench/src/bin/table4_2.rs
+
+crates/bench/src/bin/table4_2.rs:

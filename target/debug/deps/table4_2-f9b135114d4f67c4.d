@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_2-f9b135114d4f67c4.d: crates/bench/src/bin/table4_2.rs
+
+/root/repo/target/debug/deps/table4_2-f9b135114d4f67c4: crates/bench/src/bin/table4_2.rs
+
+crates/bench/src/bin/table4_2.rs:

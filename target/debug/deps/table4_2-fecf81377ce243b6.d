@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_2-fecf81377ce243b6.d: crates/bench/src/bin/table4_2.rs
+
+/root/repo/target/debug/deps/table4_2-fecf81377ce243b6: crates/bench/src/bin/table4_2.rs
+
+crates/bench/src/bin/table4_2.rs:

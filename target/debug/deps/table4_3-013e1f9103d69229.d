@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_3-013e1f9103d69229.d: crates/bench/src/bin/table4_3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_3-013e1f9103d69229.rmeta: crates/bench/src/bin/table4_3.rs Cargo.toml
+
+crates/bench/src/bin/table4_3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_3-15beb282f2ca0c51.d: crates/bench/src/bin/table4_3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_3-15beb282f2ca0c51.rmeta: crates/bench/src/bin/table4_3.rs Cargo.toml
+
+crates/bench/src/bin/table4_3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

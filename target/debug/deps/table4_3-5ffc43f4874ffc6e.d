@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_3-5ffc43f4874ffc6e.d: crates/bench/src/bin/table4_3.rs
+
+/root/repo/target/debug/deps/table4_3-5ffc43f4874ffc6e: crates/bench/src/bin/table4_3.rs
+
+crates/bench/src/bin/table4_3.rs:

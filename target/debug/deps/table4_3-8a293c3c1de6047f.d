@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_3-8a293c3c1de6047f.d: crates/bench/src/bin/table4_3.rs
+
+/root/repo/target/debug/deps/table4_3-8a293c3c1de6047f: crates/bench/src/bin/table4_3.rs
+
+crates/bench/src/bin/table4_3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_3-c45d4f2b119684f6.d: crates/bench/src/bin/table4_3.rs
+
+/root/repo/target/debug/deps/table4_3-c45d4f2b119684f6: crates/bench/src/bin/table4_3.rs
+
+crates/bench/src/bin/table4_3.rs:

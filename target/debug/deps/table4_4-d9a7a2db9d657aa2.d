@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_4-d9a7a2db9d657aa2.d: crates/bench/src/bin/table4_4.rs
+
+/root/repo/target/debug/deps/table4_4-d9a7a2db9d657aa2: crates/bench/src/bin/table4_4.rs
+
+crates/bench/src/bin/table4_4.rs:

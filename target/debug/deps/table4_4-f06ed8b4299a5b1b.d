@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_4-f06ed8b4299a5b1b.d: crates/bench/src/bin/table4_4.rs
+
+/root/repo/target/debug/deps/table4_4-f06ed8b4299a5b1b: crates/bench/src/bin/table4_4.rs
+
+crates/bench/src/bin/table4_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_4-f549327352499846.d: crates/bench/src/bin/table4_4.rs
+
+/root/repo/target/debug/deps/table4_4-f549327352499846: crates/bench/src/bin/table4_4.rs
+
+crates/bench/src/bin/table4_4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_4-fdabacaf9e90e0a4.d: crates/bench/src/bin/table4_4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_4-fdabacaf9e90e0a4.rmeta: crates/bench/src/bin/table4_4.rs Cargo.toml
+
+crates/bench/src/bin/table4_4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

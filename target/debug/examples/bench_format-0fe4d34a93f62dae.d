@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bench_format-0fe4d34a93f62dae.d: examples/bench_format.rs
+
+/root/repo/target/debug/examples/bench_format-0fe4d34a93f62dae: examples/bench_format.rs
+
+examples/bench_format.rs:

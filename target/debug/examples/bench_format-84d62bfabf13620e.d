@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bench_format-84d62bfabf13620e.d: examples/bench_format.rs
+
+/root/repo/target/debug/examples/bench_format-84d62bfabf13620e: examples/bench_format.rs
+
+examples/bench_format.rs:

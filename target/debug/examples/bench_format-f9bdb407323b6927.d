@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bench_format-f9bdb407323b6927.d: examples/bench_format.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbench_format-f9bdb407323b6927.rmeta: examples/bench_format.rs Cargo.toml
+
+examples/bench_format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

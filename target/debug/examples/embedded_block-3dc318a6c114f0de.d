@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/embedded_block-3dc318a6c114f0de.d: examples/embedded_block.rs Cargo.toml
+
+/root/repo/target/debug/examples/libembedded_block-3dc318a6c114f0de.rmeta: examples/embedded_block.rs Cargo.toml
+
+examples/embedded_block.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

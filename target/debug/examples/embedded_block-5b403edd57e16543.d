@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/embedded_block-5b403edd57e16543.d: examples/embedded_block.rs
+
+/root/repo/target/debug/examples/embedded_block-5b403edd57e16543: examples/embedded_block.rs
+
+examples/embedded_block.rs:

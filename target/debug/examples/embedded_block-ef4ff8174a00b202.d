@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/embedded_block-ef4ff8174a00b202.d: examples/embedded_block.rs
+
+/root/repo/target/debug/examples/embedded_block-ef4ff8174a00b202: examples/embedded_block.rs
+
+examples/embedded_block.rs:

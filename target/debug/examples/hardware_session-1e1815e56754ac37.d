@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_session-1e1815e56754ac37.d: examples/hardware_session.rs
+
+/root/repo/target/debug/examples/hardware_session-1e1815e56754ac37: examples/hardware_session.rs
+
+examples/hardware_session.rs:

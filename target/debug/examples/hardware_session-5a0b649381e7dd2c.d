@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_session-5a0b649381e7dd2c.d: examples/hardware_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_session-5a0b649381e7dd2c.rmeta: examples/hardware_session.rs Cargo.toml
+
+examples/hardware_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_session-c24ed256a006e5bc.d: examples/hardware_session.rs
+
+/root/repo/target/debug/examples/hardware_session-c24ed256a006e5bc: examples/hardware_session.rs
+
+examples/hardware_session.rs:

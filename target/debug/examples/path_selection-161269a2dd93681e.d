@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/path_selection-161269a2dd93681e.d: examples/path_selection.rs
+
+/root/repo/target/debug/examples/path_selection-161269a2dd93681e: examples/path_selection.rs
+
+examples/path_selection.rs:

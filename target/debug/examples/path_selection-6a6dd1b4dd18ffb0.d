@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/path_selection-6a6dd1b4dd18ffb0.d: examples/path_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpath_selection-6a6dd1b4dd18ffb0.rmeta: examples/path_selection.rs Cargo.toml
+
+examples/path_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

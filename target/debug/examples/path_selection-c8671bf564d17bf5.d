@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/path_selection-c8671bf564d17bf5.d: examples/path_selection.rs
+
+/root/repo/target/debug/examples/path_selection-c8671bf564d17bf5: examples/path_selection.rs
+
+examples/path_selection.rs:

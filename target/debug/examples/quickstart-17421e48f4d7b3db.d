@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-17421e48f4d7b3db.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-17421e48f4d7b3db.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

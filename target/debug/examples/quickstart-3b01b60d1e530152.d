@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3b01b60d1e530152.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3b01b60d1e530152: examples/quickstart.rs
+
+examples/quickstart.rs:

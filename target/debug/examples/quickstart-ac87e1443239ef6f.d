@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ac87e1443239ef6f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ac87e1443239ef6f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpdf_atpg-7398cdddc4ff36ac.d: examples/tpdf_atpg.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpdf_atpg-7398cdddc4ff36ac.rmeta: examples/tpdf_atpg.rs Cargo.toml
+
+examples/tpdf_atpg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

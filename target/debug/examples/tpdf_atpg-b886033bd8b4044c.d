@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpdf_atpg-b886033bd8b4044c.d: examples/tpdf_atpg.rs
+
+/root/repo/target/debug/examples/tpdf_atpg-b886033bd8b4044c: examples/tpdf_atpg.rs
+
+examples/tpdf_atpg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpdf_atpg-df4bb92ee46c3b80.d: examples/tpdf_atpg.rs
+
+/root/repo/target/debug/examples/tpdf_atpg-df4bb92ee46c3b80: examples/tpdf_atpg.rs
+
+examples/tpdf_atpg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cube-1bb43a2ea0add4d5.d: crates/bench/src/bin/ablation_cube.rs
+
+/root/repo/target/release/deps/ablation_cube-1bb43a2ea0add4d5: crates/bench/src/bin/ablation_cube.rs
+
+crates/bench/src/bin/ablation_cube.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_holding-d5716d8c30f682d0.d: crates/bench/src/bin/ablation_holding.rs
+
+/root/repo/target/release/deps/ablation_holding-d5716d8c30f682d0: crates/bench/src/bin/ablation_holding.rs
+
+crates/bench/src/bin/ablation_holding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_metric-771e6ac358946543.d: crates/bench/src/bin/ablation_metric.rs
+
+/root/repo/target/release/deps/ablation_metric-771e6ac358946543: crates/bench/src/bin/ablation_metric.rs
+
+crates/bench/src/bin/ablation_metric.rs:

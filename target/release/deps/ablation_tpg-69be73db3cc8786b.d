@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_tpg-69be73db3cc8786b.d: crates/bench/src/bin/ablation_tpg.rs
+
+/root/repo/target/release/deps/ablation_tpg-69be73db3cc8786b: crates/bench/src/bin/ablation_tpg.rs
+
+crates/bench/src/bin/ablation_tpg.rs:

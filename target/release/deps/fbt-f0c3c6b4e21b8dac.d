@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fbt-f0c3c6b4e21b8dac.d: src/lib.rs
+
+/root/repo/target/release/deps/libfbt-f0c3c6b4e21b8dac.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfbt-f0c3c6b4e21b8dac.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fbt_atpg-2aa09e8cfaac85de.d: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs
+
+/root/repo/target/release/deps/libfbt_atpg-2aa09e8cfaac85de.rlib: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs
+
+/root/repo/target/release/deps/libfbt_atpg-2aa09e8cfaac85de.rmeta: crates/atpg/src/lib.rs crates/atpg/src/compaction.rs crates/atpg/src/frames.rs crates/atpg/src/implic.rs crates/atpg/src/necessary.rs crates/atpg/src/podem.rs crates/atpg/src/test_cube.rs crates/atpg/src/tpdf.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/compaction.rs:
+crates/atpg/src/frames.rs:
+crates/atpg/src/implic.rs:
+crates/atpg/src/necessary.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/test_cube.rs:
+crates/atpg/src/tpdf.rs:

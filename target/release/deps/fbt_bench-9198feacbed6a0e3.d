@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fbt_bench-9198feacbed6a0e3.d: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+/root/repo/target/release/deps/libfbt_bench-9198feacbed6a0e3.rlib: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+/root/repo/target/release/deps/libfbt_bench-9198feacbed6a0e3.rmeta: crates/bench/src/lib.rs crates/bench/src/ch2.rs crates/bench/src/ch3.rs crates/bench/src/ch4.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ch2.rs:
+crates/bench/src/ch3.rs:
+crates/bench/src/ch4.rs:

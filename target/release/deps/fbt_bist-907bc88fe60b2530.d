@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/fbt_bist-907bc88fe60b2530.d: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+/root/repo/target/release/deps/libfbt_bist-907bc88fe60b2530.rlib: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+/root/repo/target/release/deps/libfbt_bist-907bc88fe60b2530.rmeta: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/area.rs:
+crates/bist/src/controller.rs:
+crates/bist/src/counter.rs:
+crates/bist/src/cube.rs:
+crates/bist/src/holding.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/misr.rs:
+crates/bist/src/scan.rs:
+crates/bist/src/schedule.rs:
+crates/bist/src/tpg.rs:
+crates/bist/src/tpg73.rs:
+crates/bist/src/weighted.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/fbt_bist-b12c9e7a26bd91d2.d: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+/root/repo/target/release/deps/libfbt_bist-b12c9e7a26bd91d2.rlib: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+/root/repo/target/release/deps/libfbt_bist-b12c9e7a26bd91d2.rmeta: crates/bist/src/lib.rs crates/bist/src/area.rs crates/bist/src/controller.rs crates/bist/src/counter.rs crates/bist/src/cube.rs crates/bist/src/holding.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/scan.rs crates/bist/src/schedule.rs crates/bist/src/tpg.rs crates/bist/src/tpg73.rs crates/bist/src/weighted.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/area.rs:
+crates/bist/src/controller.rs:
+crates/bist/src/counter.rs:
+crates/bist/src/cube.rs:
+crates/bist/src/holding.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/misr.rs:
+crates/bist/src/scan.rs:
+crates/bist/src/schedule.rs:
+crates/bist/src/tpg.rs:
+crates/bist/src/tpg73.rs:
+crates/bist/src/weighted.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fbt_fault-6f24c137e90823c9.d: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+/root/repo/target/release/deps/libfbt_fault-6f24c137e90823c9.rlib: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+/root/repo/target/release/deps/libfbt_fault-6f24c137e90823c9.rmeta: crates/fault/src/lib.rs crates/fault/src/broadside.rs crates/fault/src/engine.rs crates/fault/src/path.rs crates/fault/src/sensitize.rs crates/fault/src/sim.rs crates/fault/src/stuck.rs crates/fault/src/transition.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/broadside.rs:
+crates/fault/src/engine.rs:
+crates/fault/src/path.rs:
+crates/fault/src/sensitize.rs:
+crates/fault/src/sim.rs:
+crates/fault/src/stuck.rs:
+crates/fault/src/transition.rs:

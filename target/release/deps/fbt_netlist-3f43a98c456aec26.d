@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fbt_netlist-3f43a98c456aec26.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/rng.rs crates/netlist/src/synth.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/release/deps/libfbt_netlist-3f43a98c456aec26.rlib: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/rng.rs crates/netlist/src/synth.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/release/deps/libfbt_netlist-3f43a98c456aec26.rmeta: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/rng.rs crates/netlist/src/synth.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/analysis.rs:
+crates/netlist/src/bench.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/rng.rs:
+crates/netlist/src/synth.rs:
+crates/netlist/src/verilog.rs:

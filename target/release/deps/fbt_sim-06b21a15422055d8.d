@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fbt_sim-06b21a15422055d8.d: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs
+
+/root/repo/target/release/deps/libfbt_sim-06b21a15422055d8.rlib: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs
+
+/root/repo/target/release/deps/libfbt_sim-06b21a15422055d8.rmeta: crates/sim/src/lib.rs crates/sim/src/activity.rs crates/sim/src/bits.rs crates/sim/src/comb.rs crates/sim/src/event.rs crates/sim/src/reset.rs crates/sim/src/seq.rs crates/sim/src/tv.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/activity.rs:
+crates/sim/src/bits.rs:
+crates/sim/src/comb.rs:
+crates/sim/src/event.rs:
+crates/sim/src/reset.rs:
+crates/sim/src/seq.rs:
+crates/sim/src/tv.rs:

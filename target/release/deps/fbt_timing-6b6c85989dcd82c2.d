@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fbt_timing-6b6c85989dcd82c2.d: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs
+
+/root/repo/target/release/deps/libfbt_timing-6b6c85989dcd82c2.rlib: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs
+
+/root/repo/target/release/deps/libfbt_timing-6b6c85989dcd82c2.rmeta: crates/timing/src/lib.rs crates/timing/src/case.rs crates/timing/src/delay.rs crates/timing/src/report.rs crates/timing/src/select.rs crates/timing/src/sta.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/case.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/report.rs:
+crates/timing/src/select.rs:
+crates/timing/src/sta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-c71423b20ae1ecf9.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-c71423b20ae1ecf9: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multiclock-30352ace47808457.d: crates/bench/src/bin/multiclock.rs
+
+/root/repo/target/release/deps/multiclock-30352ace47808457: crates/bench/src/bin/multiclock.rs
+
+crates/bench/src/bin/multiclock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ndetect-1ff3401b1d5bd642.d: crates/bench/src/bin/ndetect.rs
+
+/root/repo/target/release/deps/ndetect-1ff3401b1d5bd642: crates/bench/src/bin/ndetect.rs
+
+crates/bench/src/bin/ndetect.rs:

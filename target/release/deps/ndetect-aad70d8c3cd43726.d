@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ndetect-aad70d8c3cd43726.d: crates/bench/src/bin/ndetect.rs
+
+/root/repo/target/release/deps/ndetect-aad70d8c3cd43726: crates/bench/src/bin/ndetect.rs
+
+crates/bench/src/bin/ndetect.rs:

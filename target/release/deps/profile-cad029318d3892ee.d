@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile-cad029318d3892ee.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/release/deps/profile-cad029318d3892ee: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_1-f89618c28d167fb5.d: crates/bench/src/bin/table2_1.rs
+
+/root/repo/target/release/deps/table2_1-f89618c28d167fb5: crates/bench/src/bin/table2_1.rs
+
+crates/bench/src/bin/table2_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_2-915a1a51379f26fd.d: crates/bench/src/bin/table2_2.rs
+
+/root/repo/target/release/deps/table2_2-915a1a51379f26fd: crates/bench/src/bin/table2_2.rs
+
+crates/bench/src/bin/table2_2.rs:

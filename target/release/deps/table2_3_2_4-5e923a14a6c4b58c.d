@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_3_2_4-5e923a14a6c4b58c.d: crates/bench/src/bin/table2_3_2_4.rs
+
+/root/repo/target/release/deps/table2_3_2_4-5e923a14a6c4b58c: crates/bench/src/bin/table2_3_2_4.rs
+
+crates/bench/src/bin/table2_3_2_4.rs:

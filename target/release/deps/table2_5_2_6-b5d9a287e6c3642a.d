@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_5_2_6-b5d9a287e6c3642a.d: crates/bench/src/bin/table2_5_2_6.rs
+
+/root/repo/target/release/deps/table2_5_2_6-b5d9a287e6c3642a: crates/bench/src/bin/table2_5_2_6.rs
+
+crates/bench/src/bin/table2_5_2_6.rs:

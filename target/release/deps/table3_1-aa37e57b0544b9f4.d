@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_1-aa37e57b0544b9f4.d: crates/bench/src/bin/table3_1.rs
+
+/root/repo/target/release/deps/table3_1-aa37e57b0544b9f4: crates/bench/src/bin/table3_1.rs
+
+crates/bench/src/bin/table3_1.rs:

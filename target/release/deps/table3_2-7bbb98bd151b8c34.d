@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_2-7bbb98bd151b8c34.d: crates/bench/src/bin/table3_2.rs
+
+/root/repo/target/release/deps/table3_2-7bbb98bd151b8c34: crates/bench/src/bin/table3_2.rs
+
+crates/bench/src/bin/table3_2.rs:

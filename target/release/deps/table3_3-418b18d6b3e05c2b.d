@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_3-418b18d6b3e05c2b.d: crates/bench/src/bin/table3_3.rs
+
+/root/repo/target/release/deps/table3_3-418b18d6b3e05c2b: crates/bench/src/bin/table3_3.rs
+
+crates/bench/src/bin/table3_3.rs:

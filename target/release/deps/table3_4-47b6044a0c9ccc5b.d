@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_4-47b6044a0c9ccc5b.d: crates/bench/src/bin/table3_4.rs
+
+/root/repo/target/release/deps/table3_4-47b6044a0c9ccc5b: crates/bench/src/bin/table3_4.rs
+
+crates/bench/src/bin/table3_4.rs:

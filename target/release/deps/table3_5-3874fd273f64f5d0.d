@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_5-3874fd273f64f5d0.d: crates/bench/src/bin/table3_5.rs
+
+/root/repo/target/release/deps/table3_5-3874fd273f64f5d0: crates/bench/src/bin/table3_5.rs
+
+crates/bench/src/bin/table3_5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_1-f6e2af6c97affe92.d: crates/bench/src/bin/table4_1.rs
+
+/root/repo/target/release/deps/table4_1-f6e2af6c97affe92: crates/bench/src/bin/table4_1.rs
+
+crates/bench/src/bin/table4_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_2-4420e4d92e5826b9.d: crates/bench/src/bin/table4_2.rs
+
+/root/repo/target/release/deps/table4_2-4420e4d92e5826b9: crates/bench/src/bin/table4_2.rs
+
+crates/bench/src/bin/table4_2.rs:

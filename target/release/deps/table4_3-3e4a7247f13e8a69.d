@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_3-3e4a7247f13e8a69.d: crates/bench/src/bin/table4_3.rs
+
+/root/repo/target/release/deps/table4_3-3e4a7247f13e8a69: crates/bench/src/bin/table4_3.rs
+
+crates/bench/src/bin/table4_3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_4-5b5e8117278d75c7.d: crates/bench/src/bin/table4_4.rs
+
+/root/repo/target/release/deps/table4_4-5b5e8117278d75c7: crates/bench/src/bin/table4_4.rs
+
+crates/bench/src/bin/table4_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/api_probe_tmp-7a72c7bf25e76966.d: examples/api_probe_tmp.rs
+
+/root/repo/target/release/examples/api_probe_tmp-7a72c7bf25e76966: examples/api_probe_tmp.rs
+
+examples/api_probe_tmp.rs:

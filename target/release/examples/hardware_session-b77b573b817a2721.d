@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hardware_session-b77b573b817a2721.d: examples/hardware_session.rs
+
+/root/repo/target/release/examples/hardware_session-b77b573b817a2721: examples/hardware_session.rs
+
+examples/hardware_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7dadbc2385c40d36.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7dadbc2385c40d36: examples/quickstart.rs
+
+examples/quickstart.rs:

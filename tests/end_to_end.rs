@@ -9,7 +9,7 @@ use fbt::core::{
     generate_constrained, generate_unconstrained, improve_with_holding, swafunc,
     FunctionalBistConfig,
 };
-use fbt::fault::sim::FaultSim;
+use fbt::fault::{FaultSimEngine, SerialSim};
 use fbt::netlist::{s27, synth};
 use fbt::sim::seq::{simulate_sequence, SeqSim};
 use fbt::sim::Bits;
@@ -39,7 +39,11 @@ fn full_unconstrained_flow_on_catalog_circuit() {
         let traj = simulate_sequence(&net, &Bits::zeros(net.num_dffs()), &pis);
         let tests = fbt::core::extract::functional_tests(&pis, &traj.states);
         for (k, t) in tests.iter().enumerate() {
-            assert_eq!(t.scan_in, traj.states[2 * k], "scan-in state off-trajectory");
+            assert_eq!(
+                t.scan_in,
+                traj.states[2 * k],
+                "scan-in state off-trajectory"
+            );
         }
     }
 }
@@ -99,7 +103,11 @@ fn bist_hardware_applies_the_same_tests_the_software_model_predicts() {
         let v = tpg2.next_vector();
         assert_eq!(&v, expected, "TPG replay diverged at cycle {c}");
         let r = sim.step(&v);
-        assert_eq!(r.next_state, traj.states[c + 1], "state diverged at cycle {c}");
+        assert_eq!(
+            r.next_state,
+            traj.states[c + 1],
+            "state diverged at cycle {c}"
+        );
         if counter.test_apply(1) {
             misr.absorb(&r.outputs);
         }
@@ -138,7 +146,7 @@ fn faulty_circuit_changes_the_misr_signature() {
         m: cfg.m,
         cube: fbt::bist::cube::input_cube(&net),
     };
-    let mut fsim = FaultSim::new(&net);
+    let mut fsim = SerialSim::new(&net);
     let mut found = None;
     for &seed in &out.seeds {
         let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
