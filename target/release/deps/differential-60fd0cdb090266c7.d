@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-60fd0cdb090266c7.d: crates/fault/tests/differential.rs
+
+/root/repo/target/release/deps/differential-60fd0cdb090266c7: crates/fault/tests/differential.rs
+
+crates/fault/tests/differential.rs:
