@@ -1,0 +1,126 @@
+//! `bench_ch4` — wall-clock benchmark of the Chapter-4 seed search: the
+//! serial loop (`batch = 1, threads = 1`) against deterministic speculative
+//! batching (`batch = 8`, one worker per core). Both modes produce
+//! bit-identical outcomes (asserted here); the benchmark measures the
+//! wall-clock and wasted-evaluation trade.
+//!
+//! Prints the per-run [`GenerationStats`] and writes a machine-readable
+//! summary to `BENCH_ch4.json` (override the path with `BENCH_CH4_OUT`).
+
+use std::time::Instant;
+
+use fbt_bench::{ch4, fmt_duration, pct, Scale, Table};
+use fbt_core::driver::swafunc;
+use fbt_core::{
+    generate_constrained, generate_unconstrained, FunctionalBistConfig, GenerationStats,
+    SearchOptions,
+};
+
+struct Entry {
+    circuit: String,
+    method: &'static str,
+    mode: &'static str,
+    batch: usize,
+    threads: usize,
+    fc_pct: f64,
+    stats: GenerationStats,
+}
+
+impl Entry {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"circuit\":\"{}\",\"method\":\"{}\",\"mode\":\"{}\",\"batch\":{},\
+             \"threads\":{},\"fc_pct\":{:.4},\"stats\":{}}}",
+            self.circuit,
+            self.method,
+            self.mode,
+            self.batch,
+            self.threads,
+            self.fc_pct,
+            self.stats.to_json(),
+        )
+    }
+}
+
+fn modes() -> [(&'static str, SearchOptions); 2] {
+    [
+        ("serial", SearchOptions::serial()),
+        ("spec8", SearchOptions::speculative(8)),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = scale.bist_config();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut t = Table::new(&[
+        "Circuit", "Method", "Mode", "FC %", "Evals", "Wasted", "Waste %", "Wall",
+    ]);
+
+    for (target_name, _) in ch4::pairs(scale) {
+        let target = fbt_bench::circuit(scale, target_name);
+        let bound = swafunc(&target, &fbt_core::DrivingBlock::Buffers, &base);
+
+        let mut fc_by_method: [Option<f64>; 2] = [None, None];
+        for (mode, search) in modes() {
+            let cfg = FunctionalBistConfig {
+                search,
+                ..base.clone()
+            };
+            for (mi, method) in ["unconstrained", "constrained"].into_iter().enumerate() {
+                let t0 = Instant::now();
+                let (fc, mut stats) = match method {
+                    "unconstrained" => {
+                        let out = generate_unconstrained(&target, &cfg);
+                        (out.fault_coverage(), out.stats)
+                    }
+                    _ => {
+                        let out = generate_constrained(&target, bound, &cfg);
+                        (out.fault_coverage(), out.stats)
+                    }
+                };
+                stats.total_wall = t0.elapsed();
+                // Determinism guarantee: every mode must reach the same
+                // coverage (outcomes are bit-identical by construction).
+                match fc_by_method[mi] {
+                    None => fc_by_method[mi] = Some(fc),
+                    Some(prev) => assert_eq!(prev, fc, "{target_name} {method} {mode}"),
+                }
+                println!("{target_name:>12} {method:>13} {mode:>6}: {stats}");
+                t.row(vec![
+                    target_name.to_string(),
+                    method.to_string(),
+                    mode.to_string(),
+                    pct(fc),
+                    stats.evals.to_string(),
+                    stats.wasted_evals.to_string(),
+                    pct(100.0 * stats.waste_ratio()),
+                    fmt_duration(stats.total_wall),
+                ]);
+                entries.push(Entry {
+                    circuit: target_name.to_string(),
+                    method,
+                    mode,
+                    batch: search.batch,
+                    threads: search.resolved_threads(),
+                    fc_pct: fc,
+                    stats,
+                });
+            }
+        }
+    }
+
+    t.print(&format!(
+        "bench_ch4: serial vs speculative seed search [{scale:?}]"
+    ));
+
+    let body: Vec<String> = entries.iter().map(Entry::to_json).collect();
+    let json = format!(
+        "{{\"scale\":\"{scale:?}\",\"host_threads\":{},\"entries\":[{}]}}\n",
+        SearchOptions::default().resolved_threads(),
+        body.join(",")
+    );
+    let path = std::env::var("BENCH_CH4_OUT").unwrap_or_else(|_| "BENCH_ch4.json".to_string());
+    std::fs::write(&path, json).expect("write benchmark JSON");
+    println!("\nwrote {path}");
+}

@@ -23,7 +23,8 @@ fn main() {
     for (target_name, driver_names) in ch4::pairs(scale) {
         let target = fbt_bench::circuit(scale, target_name);
         for (label, driving) in ch4::admissible_drivers(scale, &target, &driver_names) {
-            let (row, _) = ch4::constrained_cell(scale, &target, &driving);
+            let (row, out) = ch4::constrained_cell(scale, &target, &driving);
+            println!("{} / {label}: {}", row.target, out.stats);
             t.row(vec![
                 format!("{} ({})", row.target, row.num_faults),
                 row.lsc.to_string(),

@@ -26,9 +26,10 @@ fn main() {
             if row.fc_pct >= threshold {
                 continue;
             }
-            let h = ch4::holding_cell(scale, &target, &driving, &base);
+            let (h, hout) = ch4::holding_cell(scale, &target, &driving, &base);
+            println!("{} / {label}: {}", h.target, hout.stats);
             t.row(vec![
-                h.target,
+                h.target.clone(),
                 label,
                 h.nh.to_string(),
                 h.nbits.to_string(),

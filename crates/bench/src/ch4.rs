@@ -55,15 +55,16 @@ pub fn constrained_cell(
     run_constrained_experiment(target, driving, &cfg)
 }
 
-/// Run one Table 4.4 cell on top of a constrained outcome.
+/// Run one Table 4.4 cell on top of a constrained outcome. The outcome is
+/// returned too so callers can report its [`fbt_core::GenerationStats`].
 pub fn holding_cell(
     scale: Scale,
     target: &Netlist,
     driving: &DrivingBlock,
     base: &ConstrainedOutcome,
-) -> HoldingRow {
+) -> (HoldingRow, fbt_core::HoldingOutcome) {
     let cfg = scale.bist_config();
-    run_holding_experiment(target, driving, &cfg, base).0
+    run_holding_experiment(target, driving, &cfg, base)
 }
 
 /// Drivers are only admissible when wide enough (§4.6 pairing rule); filter

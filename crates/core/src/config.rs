@@ -1,5 +1,7 @@
 //! Configuration for built-in test generation experiments.
 
+use crate::search::SearchOptions;
+
 /// The metric used to decide whether a state-transition deviates too far from
 /// functional operation (paper §4.4 vs. the §5.1 future-work alternative).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,6 +54,10 @@ pub struct FunctionalBistConfig {
     pub master_seed: u64,
     /// Deviation metric for constrained generation.
     pub metric: DeviationMetric,
+    /// Speculative seed-search tunables (batch size, worker threads). Any
+    /// setting produces bit-identical outcomes; this only trades wasted
+    /// speculative evaluations for wall-clock time.
+    pub search: SearchOptions,
 }
 
 impl FunctionalBistConfig {
@@ -72,6 +78,7 @@ impl FunctionalBistConfig {
             hold_tree_height: 6,
             master_seed: 0x0FB7_2011,
             metric: DeviationMetric::SwitchingActivity,
+            search: SearchOptions::default(),
         }
     }
 
@@ -119,6 +126,7 @@ impl FunctionalBistConfig {
         assert!(self.attempt_failure_limit > 0, "Q must be positive");
         assert!(self.hold_period_log2 >= 1, "h must be >= 1");
         assert!(self.m >= 2, "m must be >= 2");
+        self.search.validate();
     }
 }
 

@@ -12,15 +12,19 @@
 //! the final state of the previous one and the whole trajectory remains
 //! reachable.
 
+use std::time::Instant;
+
 use fbt_bist::{cube, Tpg, TpgSpec};
 use fbt_fault::{all_transition_faults, collapse, TransitionFault};
-use fbt_fault::{FaultSimEngine, PackedParallelSim};
+use fbt_fault::{BroadsideTest, FaultSimEngine, FaultSimOptions, TestSet};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
 use fbt_sim::seq::simulate_sequence;
 use fbt_sim::Bits;
 
 use crate::extract::functional_tests;
+use crate::search::{BatchEvaluator, SeedQueue};
+use crate::stats::GenerationStats;
 use crate::stp::StpLibrary;
 use crate::{DeviationMetric, FunctionalBistConfig};
 
@@ -114,6 +118,8 @@ pub struct ConstrainedOutcome {
     /// Peak switching activity during test application (≤ `swafunc` by
     /// construction when the SWA metric is used).
     pub peak_swa: f64,
+    /// Instrumentation counters and wall times for this run.
+    pub stats: GenerationStats,
 }
 
 impl ConstrainedOutcome {
@@ -253,14 +259,33 @@ pub fn generate_constrained_with_library(
     run(net, swafunc, cfg, library, std::slice::from_ref(&zero))
 }
 
+/// One speculative segment-candidate evaluation (see [`crate::search`]):
+/// everything the commit step needs, computed against snapshots of the
+/// detection flags and the sequence's current state.
+struct SegmentCandidate {
+    /// Admissible prefix length (`< 2` = inadmissible).
+    len: usize,
+    /// The extracted functional broadside tests of the prefix.
+    tests: Vec<BroadsideTest>,
+    /// Faults newly detected relative to the snapshot (empty = reject).
+    newly: Vec<usize>,
+    /// Peak activity over the prefix trajectory.
+    peak_swa: f64,
+    /// The state reached at the end of the prefix.
+    next_state: Option<Bits>,
+    /// Logic-simulated cycles this evaluation cost.
+    cycles: usize,
+}
+
 fn run(
     net: &Netlist,
     swafunc: f64,
     cfg: &FunctionalBistConfig,
-    rule: &dyn SegmentRule,
+    rule: &(dyn SegmentRule + Sync),
     initial_states: &[Bits],
 ) -> ConstrainedOutcome {
     cfg.validate();
+    let t0 = Instant::now();
     let spec = TpgSpec {
         lfsr_width: cfg.lfsr_width,
         m: cfg.m,
@@ -268,8 +293,12 @@ fn run(
     };
     let faults = collapse(net, &all_transition_faults(net));
     let mut detected = vec![false; faults.len()];
-    let mut fsim = PackedParallelSim::new(net);
     let mut rng = Rng::new(cfg.master_seed);
+    let mut stats = GenerationStats::default();
+
+    let mut queue = SeedQueue::new();
+    let mut evaluator = BatchEvaluator::new(net, &cfg.search);
+    let inner = evaluator.inner_threads();
 
     let mut sequences: Vec<MultiSegmentSequence> = Vec::new();
     let mut tests_applied = 0usize;
@@ -286,27 +315,84 @@ fn run(
         let mut cur_state = init.clone();
         let mut seq = MultiSegmentSequence::new(init.clone());
         let mut seed_failures = 0usize;
-        while seed_failures < cfg.segment_failure_limit && seeds_tried < cfg.max_seeds {
-            seeds_tried += 1;
-            let seed = rng.next_u64();
-            let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
-            let len = rule.admissible_prefix(net, &cur_state, &pis);
-            if len < 2 {
-                seed_failures += 1;
-                continue;
+        'segment: while seed_failures < cfg.segment_failure_limit && seeds_tried < cfg.max_seeds {
+            let batch = queue.draw(&mut rng, cfg.search.batch);
+            let snapshot: &[bool] = &detected;
+            let start = &cur_state;
+            let evals = evaluator.run(&batch, |engine, seed| {
+                let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
+                let len = rule.admissible_prefix(net, start, &pis);
+                if len < 2 {
+                    return SegmentCandidate {
+                        len,
+                        tests: Vec::new(),
+                        newly: Vec::new(),
+                        peak_swa: 0.0,
+                        next_state: None,
+                        cycles: cfg.seq_len,
+                    };
+                }
+                let prefix = &pis[..len];
+                let traj = simulate_sequence(net, start, prefix);
+                let tests = functional_tests(prefix, &traj.states);
+                let mut local = snapshot.to_vec();
+                let newly = engine
+                    .simulate(
+                        TestSet::Broadside(&tests),
+                        &faults,
+                        &mut local,
+                        &FaultSimOptions::new().threads(inner),
+                    )
+                    .newly_detected;
+                let newly = if newly > 0 {
+                    (0..local.len())
+                        .filter(|&i| local[i] && !snapshot[i])
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                SegmentCandidate {
+                    len,
+                    tests,
+                    newly,
+                    peak_swa: traj.peak_swa(),
+                    next_state: Some(traj.states[len].clone()),
+                    cycles: cfg.seq_len + len,
+                }
+            });
+            stats.evals += evals.len();
+            for ev in &evals {
+                stats.sim_cycles += ev.cycles;
+                if ev.len >= 2 {
+                    stats.fsim_calls += 1;
+                }
             }
-            let prefix = &pis[..len];
-            let traj = simulate_sequence(net, &cur_state, prefix);
-            let tests = functional_tests(prefix, &traj.states);
-            let newly = fsim.run(&tests, &faults, &mut detected);
-            if newly > 0 {
-                tests_applied += tests.len();
-                peak_swa = peak_swa.max(traj.peak_swa());
-                cur_state = traj.states[len].clone();
-                seq.segments.push(Segment { seed, len });
-                seed_failures = 0;
-            } else {
-                seed_failures += 1;
+            for (k, cand) in evals.into_iter().enumerate() {
+                if seed_failures >= cfg.segment_failure_limit || seeds_tried >= cfg.max_seeds {
+                    queue.requeue(&batch[k..]);
+                    break 'segment;
+                }
+                seeds_tried += 1;
+                stats.seeds_tried += 1;
+                if cand.newly.is_empty() {
+                    seed_failures += 1;
+                } else {
+                    for i in cand.newly {
+                        detected[i] = true;
+                    }
+                    tests_applied += cand.tests.len();
+                    peak_swa = peak_swa.max(cand.peak_swa);
+                    cur_state = cand.next_state.expect("accepted candidates carry a state");
+                    seq.segments.push(Segment {
+                        seed: batch[k],
+                        len: cand.len,
+                    });
+                    seed_failures = 0;
+                    stats.seeds_kept += 1;
+                    // Later candidates saw a stale snapshot: requeue them.
+                    queue.requeue(&batch[k + 1..]);
+                    continue 'segment;
+                }
             }
         }
         if seq.segments.is_empty() {
@@ -316,6 +402,9 @@ fn run(
             sequences.push(seq);
         }
     }
+    stats.wasted_evals = stats.evals - stats.seeds_tried;
+    stats.select_wall = t0.elapsed();
+    stats.total_wall = t0.elapsed();
 
     ConstrainedOutcome {
         sequences,
@@ -324,6 +413,7 @@ fn run(
         detected,
         tests_applied,
         peak_swa,
+        stats,
     }
 }
 
@@ -358,6 +448,8 @@ pub fn replay_tests(
 mod tests {
     use super::*;
     use crate::driver::{swafunc as compute_swafunc, DrivingBlock};
+    use crate::SearchOptions;
+    use fbt_fault::PackedParallelSim;
     use fbt_netlist::{s27, synth};
 
     #[test]
@@ -492,5 +584,28 @@ mod tests {
         let b = generate_constrained(&net, 0.5, &cfg);
         assert_eq!(a.sequences, b.sequences);
         assert_eq!(a.detected, b.detected);
+    }
+
+    #[test]
+    fn speculation_matches_serial_exactly() {
+        let net = s27();
+        let bound = compute_swafunc(&net, &DrivingBlock::Buffers, &FunctionalBistConfig::smoke());
+        let serial_cfg = FunctionalBistConfig {
+            search: SearchOptions::serial(),
+            ..FunctionalBistConfig::smoke()
+        };
+        let reference = generate_constrained(&net, bound, &serial_cfg);
+        for (batch, threads) in [(2, 1), (4, 2), (16, 8)] {
+            let cfg = FunctionalBistConfig {
+                search: SearchOptions { batch, threads },
+                ..FunctionalBistConfig::smoke()
+            };
+            let out = generate_constrained(&net, bound, &cfg);
+            assert_eq!(out.sequences, reference.sequences, "batch {batch}");
+            assert_eq!(out.detected, reference.detected, "batch {batch}");
+            assert_eq!(out.tests_applied, reference.tests_applied);
+            assert_eq!(out.peak_swa, reference.peak_swa);
+            assert_eq!(out.stats.seeds_tried, reference.stats.seeds_tried);
+        }
     }
 }

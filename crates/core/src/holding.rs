@@ -9,10 +9,12 @@
 //! excessive power is still avoided. Hold sets are chosen with the
 //! full-and-complete binary tree procedure of §4.5.2 (Fig. 4.12).
 
+use std::time::Instant;
+
 use fbt_bist::holding::HoldSet;
 use fbt_bist::{cube, Tpg, TpgSpec};
 use fbt_fault::TransitionFault;
-use fbt_fault::{FaultSimEngine, PackedParallelSim};
+use fbt_fault::{FaultSimEngine, FaultSimOptions, TestSet, TwoPatternTest};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
 use fbt_sim::seq::SeqSim;
@@ -20,6 +22,8 @@ use fbt_sim::Bits;
 
 use crate::constrained::{ConstrainedOutcome, MultiSegmentSequence, Segment};
 use crate::extract::held_tests;
+use crate::search::{BatchEvaluator, SeedQueue};
+use crate::stats::GenerationStats;
 use crate::FunctionalBistConfig;
 
 /// Result of the state-holding stage.
@@ -41,6 +45,9 @@ pub struct HoldingOutcome {
     pub peak_swa: f64,
     /// The bound in force.
     pub swafunc: f64,
+    /// Instrumentation aggregated over every construction run (probes and
+    /// commitments).
+    pub stats: GenerationStats,
 }
 
 impl HoldingOutcome {
@@ -113,8 +120,28 @@ fn admissible_prefix_holding(
     }
 }
 
+/// One speculative candidate evaluation under holding: everything the
+/// commit step needs, computed against snapshots of the detection flags and
+/// the sequence's current state.
+struct HeldCandidate {
+    /// Admissible prefix length (`< 2` = inadmissible).
+    len: usize,
+    /// The extracted two-pattern tests of the held prefix.
+    tests: Vec<TwoPatternTest>,
+    /// Faults newly detected relative to the snapshot (empty = reject).
+    newly: Vec<usize>,
+    /// Peak activity over the held prefix trajectory.
+    peak_swa: f64,
+    /// The state reached at the end of the prefix.
+    next_state: Option<Bits>,
+    /// Logic-simulated cycles this evaluation cost.
+    cycles: usize,
+}
+
 /// One construction run (the Fig. 4.9 procedure with holding): returns the
-/// sequences, tests applied and peak activity; marks `detected`.
+/// sequences, tests applied, peak activity and search stats; marks
+/// `detected`. Candidate seeds are evaluated with the deterministic
+/// speculative-batch search of [`crate::search`].
 #[allow(clippy::too_many_arguments)]
 fn construct(
     net: &Netlist,
@@ -126,11 +153,15 @@ fn construct(
     spec: &TpgSpec,
     faults: &[TransitionFault],
     detected: &mut [bool],
-    fsim: &mut dyn FaultSimEngine,
+    evaluator: &mut BatchEvaluator<'_>,
     rng: &mut Rng,
-) -> (Vec<MultiSegmentSequence>, usize, f64) {
+) -> (Vec<MultiSegmentSequence>, usize, f64, GenerationStats) {
     let h = cfg.hold_period_log2;
+    let inner = evaluator.inner_threads();
     let zero = Bits::zeros(net.num_dffs());
+    let mut queue = SeedQueue::new();
+    let mut stats = GenerationStats::default();
+    let t0 = Instant::now();
     let mut sequences = Vec::new();
     let mut tests_applied = 0usize;
     let mut peak = 0.0f64;
@@ -140,27 +171,84 @@ fn construct(
         let mut cur = zero.clone();
         let mut seq = MultiSegmentSequence::new(zero.clone());
         let mut seed_failures = 0usize;
-        while seed_failures < r_limit && seeds_tried < cfg.max_seeds {
-            seeds_tried += 1;
-            let seed = rng.next_u64();
-            let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
-            let len = admissible_prefix_holding(net, bound, &cur, &pis, mask, h);
-            if len < 2 {
-                seed_failures += 1;
-                continue;
+        'segment: while seed_failures < r_limit && seeds_tried < cfg.max_seeds {
+            let batch = queue.draw(rng, cfg.search.batch);
+            let snapshot: &[bool] = detected;
+            let start = &cur;
+            let evals = evaluator.run(&batch, |engine, seed| {
+                let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
+                let len = admissible_prefix_holding(net, bound, start, &pis, mask, h);
+                if len < 2 {
+                    return HeldCandidate {
+                        len,
+                        tests: Vec::new(),
+                        newly: Vec::new(),
+                        peak_swa: 0.0,
+                        next_state: None,
+                        cycles: cfg.seq_len,
+                    };
+                }
+                let prefix = &pis[..len];
+                let (states, swa) = simulate_holding(net, start, prefix, mask, h);
+                let tests = held_tests(prefix, &states);
+                let mut local = snapshot.to_vec();
+                let newly = engine
+                    .simulate(
+                        TestSet::TwoPattern(&tests),
+                        faults,
+                        &mut local,
+                        &FaultSimOptions::new().threads(inner),
+                    )
+                    .newly_detected;
+                let newly = if newly > 0 {
+                    (0..local.len())
+                        .filter(|&i| local[i] && !snapshot[i])
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                HeldCandidate {
+                    len,
+                    tests,
+                    newly,
+                    peak_swa: swa.iter().flatten().fold(0.0f64, |a, &b| a.max(b)),
+                    next_state: Some(states[len].clone()),
+                    cycles: cfg.seq_len + len,
+                }
+            });
+            stats.evals += evals.len();
+            for ev in &evals {
+                stats.sim_cycles += ev.cycles;
+                if ev.len >= 2 {
+                    stats.fsim_calls += 1;
+                }
             }
-            let prefix = &pis[..len];
-            let (states, swa) = simulate_holding(net, &cur, prefix, mask, h);
-            let tests = held_tests(prefix, &states);
-            let newly = fsim.run_two_pattern(&tests, faults, detected);
-            if newly > 0 {
-                tests_applied += tests.len();
-                peak = peak.max(swa.iter().flatten().fold(0.0f64, |a, &b| a.max(b)));
-                cur = states[len].clone();
-                seq.segments.push(Segment { seed, len });
-                seed_failures = 0;
-            } else {
-                seed_failures += 1;
+            for (k, cand) in evals.into_iter().enumerate() {
+                if seed_failures >= r_limit || seeds_tried >= cfg.max_seeds {
+                    queue.requeue(&batch[k..]);
+                    break 'segment;
+                }
+                seeds_tried += 1;
+                stats.seeds_tried += 1;
+                if cand.newly.is_empty() {
+                    seed_failures += 1;
+                } else {
+                    for i in cand.newly {
+                        detected[i] = true;
+                    }
+                    tests_applied += cand.tests.len();
+                    peak = peak.max(cand.peak_swa);
+                    cur = cand.next_state.expect("accepted candidates carry a state");
+                    seq.segments.push(Segment {
+                        seed: batch[k],
+                        len: cand.len,
+                    });
+                    seed_failures = 0;
+                    stats.seeds_kept += 1;
+                    // Later candidates saw a stale snapshot: requeue them.
+                    queue.requeue(&batch[k + 1..]);
+                    continue 'segment;
+                }
             }
         }
         if seq.segments.is_empty() {
@@ -170,7 +258,10 @@ fn construct(
             sequences.push(seq);
         }
     }
-    (sequences, tests_applied, peak)
+    stats.wasted_evals = stats.evals - stats.seeds_tried;
+    stats.select_wall = t0.elapsed();
+    stats.total_wall = t0.elapsed();
+    (sequences, tests_applied, peak, stats)
 }
 
 /// Run the optional state-holding stage after constrained generation.
@@ -213,12 +304,14 @@ pub fn improve_with_holding(
         fbt_fault::collapse(net, &fbt_fault::all_transition_faults(net)).len(),
         "base outcome does not match this circuit"
     );
+    let t0 = Instant::now();
     let spec = TpgSpec {
         lfsr_width: cfg.lfsr_width,
         m: cfg.m,
         cube: cube::input_cube(net),
     };
-    let mut fsim = PackedParallelSim::new(net);
+    let mut evaluator = BatchEvaluator::new(net, &cfg.search);
+    let mut stats = GenerationStats::default();
     let n_ff = net.num_dffs();
     let mut rng = Rng::new(cfg.master_seed ^ 0x401D);
 
@@ -254,7 +347,7 @@ pub fn improve_with_holding(
         let mut scratch = base.detected.clone();
         let mut probe_rng = Rng::new(cfg.master_seed ^ (0xD37 + i as u64));
         let before = scratch.iter().filter(|&&d| d).count();
-        construct(
+        let (_, _, _, probe_stats) = construct(
             net,
             swafunc,
             cfg,
@@ -264,9 +357,10 @@ pub fn improve_with_holding(
             &spec,
             &base.faults,
             &mut scratch,
-            &mut fsim,
+            &mut evaluator,
             &mut probe_rng,
         );
+        stats.absorb(&probe_stats);
         det[i] = scratch.iter().filter(|&&d| d).count() - before;
     }
 
@@ -304,7 +398,7 @@ pub fn improve_with_holding(
         let mask = HoldSet::new(subset.clone()).mask(n_ff);
         let before = detected.iter().filter(|&&d| d).count();
         let mut commit_rng = rng.fork();
-        let (seqs, tests, peak) = construct(
+        let (seqs, tests, peak, commit_stats) = construct(
             net,
             swafunc,
             cfg,
@@ -314,9 +408,10 @@ pub fn improve_with_holding(
             &spec,
             &base.faults,
             &mut detected,
-            &mut fsim,
+            &mut evaluator,
             &mut commit_rng,
         );
+        stats.absorb(&commit_stats);
         let newly = detected.iter().filter(|&&d| d).count() - before;
         if newly > 0 {
             kept_sets.push(HoldSet::new(subset));
@@ -325,6 +420,7 @@ pub fn improve_with_holding(
             peak_swa = peak_swa.max(peak);
         }
     }
+    stats.total_wall = t0.elapsed();
 
     HoldingOutcome {
         sets: kept_sets,
@@ -335,6 +431,7 @@ pub fn improve_with_holding(
         tests_applied,
         peak_swa,
         swafunc,
+        stats,
     }
 }
 
@@ -357,12 +454,14 @@ pub fn improve_with_holding_greedy(
     base: &ConstrainedOutcome,
 ) -> HoldingOutcome {
     cfg.validate();
+    let t0 = Instant::now();
     let spec = TpgSpec {
         lfsr_width: cfg.lfsr_width,
         m: cfg.m,
         cube: cube::input_cube(net),
     };
-    let mut fsim = PackedParallelSim::new(net);
+    let mut evaluator = BatchEvaluator::new(net, &cfg.search);
+    let mut stats = GenerationStats::default();
     let n_ff = net.num_dffs();
     let mut rng = Rng::new(cfg.master_seed ^ 0x93EED);
 
@@ -393,7 +492,7 @@ pub fn improve_with_holding_greedy(
             let mut scratch = detected.clone();
             let before = scratch.iter().filter(|&&d| d).count();
             let mut probe_rng = Rng::new(cfg.master_seed ^ (0x6EED + gi as u64));
-            construct(
+            let (_, _, _, probe_stats) = construct(
                 net,
                 swafunc,
                 cfg,
@@ -403,9 +502,10 @@ pub fn improve_with_holding_greedy(
                 &spec,
                 &base.faults,
                 &mut scratch,
-                &mut fsim,
+                &mut evaluator,
                 &mut probe_rng,
             );
+            stats.absorb(&probe_stats);
             let gain = scratch.iter().filter(|&&d| d).count() - before;
             if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
                 best = Some((gain, gi));
@@ -416,7 +516,7 @@ pub fn improve_with_holding_greedy(
         let mask = HoldSet::new(subset.clone()).mask(n_ff);
         let before = detected.iter().filter(|&&d| d).count();
         let mut commit_rng = rng.fork();
-        let (seqs, tests, peak) = construct(
+        let (seqs, tests, peak, commit_stats) = construct(
             net,
             swafunc,
             cfg,
@@ -426,9 +526,10 @@ pub fn improve_with_holding_greedy(
             &spec,
             &base.faults,
             &mut detected,
-            &mut fsim,
+            &mut evaluator,
             &mut commit_rng,
         );
+        stats.absorb(&commit_stats);
         let newly = detected.iter().filter(|&&d| d).count() - before;
         if newly > 0 {
             kept_sets.push(HoldSet::new(subset));
@@ -440,6 +541,7 @@ pub fn improve_with_holding_greedy(
             break;
         }
     }
+    stats.total_wall = t0.elapsed();
 
     HoldingOutcome {
         sets: kept_sets,
@@ -450,6 +552,7 @@ pub fn improve_with_holding_greedy(
         tests_applied,
         peak_swa,
         swafunc,
+        stats,
     }
 }
 
@@ -568,5 +671,26 @@ mod tests {
         let b = improve_with_holding(&net, bound, &cfg, &base);
         assert_eq!(a.detected, b.detected);
         assert_eq!(a.sets.len(), b.sets.len());
+    }
+
+    #[test]
+    fn speculation_matches_serial_exactly() {
+        let (net, bound, cfg, base) = base_outcome();
+        let serial_cfg = FunctionalBistConfig {
+            search: crate::SearchOptions::serial(),
+            ..cfg.clone()
+        };
+        let reference = improve_with_holding(&net, bound, &serial_cfg, &base);
+        for (batch, threads) in [(4, 1), (16, 2)] {
+            let spec_cfg = FunctionalBistConfig {
+                search: crate::SearchOptions { batch, threads },
+                ..cfg.clone()
+            };
+            let out = improve_with_holding(&net, bound, &spec_cfg, &base);
+            assert_eq!(out.detected, reference.detected, "batch {batch}");
+            assert_eq!(out.sets, reference.sets, "batch {batch}");
+            assert_eq!(out.sequences_per_set, reference.sequences_per_set);
+            assert_eq!(out.tests_applied, reference.tests_applied);
+        }
     }
 }

@@ -33,7 +33,9 @@ pub mod experiment;
 pub mod extract;
 pub mod holding;
 pub mod overtest;
+pub mod search;
 pub mod session;
+pub mod stats;
 pub mod stp;
 pub mod unconstrained;
 
@@ -46,5 +48,7 @@ pub use driver::{swafunc, DrivingBlock};
 pub use fbt_netlist::Error;
 pub use holding::{improve_with_holding, improve_with_holding_greedy, HoldingOutcome};
 pub use overtest::{estimate_overtesting, OvertestReport};
+pub use search::SearchOptions;
 pub use session::{run_on_hardware, SessionResult};
+pub use stats::GenerationStats;
 pub use unconstrained::{generate_unconstrained, GenerationOutcome};

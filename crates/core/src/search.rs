@@ -1,0 +1,254 @@
+//! Deterministic speculative-batch seed search.
+//!
+//! The Chapter-4 generation loops all share one shape: draw an LFSR seed
+//! from a reproducible [`Rng`] stream, do expensive per-candidate work (TPG
+//! expansion, logic simulation, admissibility checking, test extraction,
+//! fault simulation against the current detection flags), and *commit* the
+//! candidate only if it detects new faults. The commit mutates shared state
+//! (`detected`, the circuit's current state), but a **rejected** candidate
+//! mutates nothing — which makes the expensive work speculatable.
+//!
+//! The harness here draws a batch of `K` candidate seeds ahead of time from
+//! the same stream, evaluates them concurrently against a snapshot of the
+//! shared state, and then consumes the results serially *in draw order*:
+//!
+//! * a candidate whose speculative result is a reject is consumed as-is —
+//!   the snapshot it was evaluated against is exactly the state the serial
+//!   loop would have had, because no earlier candidate in the round
+//!   committed;
+//! * the **first** candidate whose result is an accept is committed, and
+//!   every later candidate's result is discarded (their snapshots are now
+//!   stale). Their *seeds* are pushed back onto the queue and re-evaluated
+//!   against the new state in the next round, exactly as the serial loop
+//!   would have drawn them next.
+//!
+//! Stopping conditions are re-checked before each candidate is consumed, so
+//! the search consumes precisely the prefix of the seed stream the serial
+//! loop would have. The outcome is therefore bit-identical to the serial
+//! search for **every** batch size and thread count; speculation only
+//! trades wasted evaluations for wall-clock time.
+
+use std::collections::VecDeque;
+
+use fbt_fault::PackedParallelSim;
+use fbt_netlist::rng::Rng;
+use fbt_netlist::Netlist;
+
+/// Tunables of the speculative seed search, carried by
+/// [`crate::FunctionalBistConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Number of candidate seeds evaluated speculatively per round. `1`
+    /// reproduces the serial loop with zero speculation overhead.
+    pub batch: usize,
+    /// Worker threads evaluating candidates; `0` resolves to
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            batch: 1,
+            threads: 0,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// A serial search (batch of one, one thread).
+    pub fn serial() -> Self {
+        SearchOptions {
+            batch: 1,
+            threads: 1,
+        }
+    }
+
+    /// A speculative search with the given batch size and automatic threads.
+    pub fn speculative(batch: usize) -> Self {
+        SearchOptions { batch, threads: 0 }
+    }
+
+    /// The thread count resolved against the machine.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn validate(&self) {
+        assert!(self.batch >= 1, "speculation batch must be >= 1");
+    }
+}
+
+/// An order-preserving queue over a [`Rng`] seed stream.
+///
+/// Seeds drawn for a speculative round but not consumed (their results were
+/// invalidated by an earlier commit, or the search stopped) are requeued at
+/// the front, so the sequence of *consumed* seeds is always a prefix of the
+/// underlying stream in draw order — the determinism invariant.
+#[derive(Debug, Default)]
+pub(crate) struct SeedQueue {
+    pending: VecDeque<u64>,
+}
+
+impl SeedQueue {
+    pub(crate) fn new() -> Self {
+        SeedQueue::default()
+    }
+
+    /// Take the next `n` seeds, drawing fresh ones from `rng` as needed.
+    pub(crate) fn draw(&mut self, rng: &mut Rng, n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            out.push(self.pending.pop_front().unwrap_or_else(|| rng.next_u64()));
+        }
+        out
+    }
+
+    /// Return unconsumed seeds to the front of the queue, preserving order.
+    pub(crate) fn requeue(&mut self, seeds: &[u64]) {
+        for &s in seeds.iter().rev() {
+            self.pending.push_front(s);
+        }
+    }
+}
+
+/// A pool of per-worker fault-simulation engines that evaluates one batch of
+/// candidate seeds concurrently with [`std::thread::scope`].
+///
+/// Engines persist across rounds (and across calls), so their lazily built
+/// fanout-cone caches amortize over the whole search.
+#[derive(Debug)]
+pub(crate) struct BatchEvaluator<'n> {
+    threads: usize,
+    engines: Vec<PackedParallelSim<'n>>,
+}
+
+impl<'n> BatchEvaluator<'n> {
+    pub(crate) fn new(net: &'n Netlist, opts: &SearchOptions) -> Self {
+        let threads = opts.resolved_threads().max(1);
+        BatchEvaluator {
+            threads,
+            engines: (0..threads).map(|_| PackedParallelSim::new(net)).collect(),
+        }
+    }
+
+    /// Thread count the *inner* fault simulation should use: when candidates
+    /// are already spread across workers, each engine runs single-threaded
+    /// to avoid oversubscription; a lone worker keeps automatic threading.
+    pub(crate) fn inner_threads(&self) -> usize {
+        if self.threads > 1 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The first worker's engine, for serial fault-simulation passes that
+    /// should share the search's fanout-cone caches.
+    pub(crate) fn engine(&mut self) -> &mut PackedParallelSim<'n> {
+        &mut self.engines[0]
+    }
+
+    /// Evaluate `seeds` with `f`, returning results in seed order.
+    ///
+    /// `f` must be a pure function of the seed and whatever immutable
+    /// snapshot it captures — results for the same seed and snapshot must
+    /// not depend on which worker runs it.
+    pub(crate) fn run<R, F>(&mut self, seeds: &[u64], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut PackedParallelSim<'n>, u64) -> R + Sync,
+    {
+        let workers = self.threads.min(seeds.len());
+        if workers <= 1 {
+            let engine = &mut self.engines[0];
+            return seeds.iter().map(|&s| f(engine, s)).collect();
+        }
+        let chunk = seeds.len().div_ceil(workers);
+        let per_worker: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .engines
+                .iter_mut()
+                .zip(seeds.chunks(chunk))
+                .map(|(engine, chunk_seeds)| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        chunk_seeds
+                            .iter()
+                            .map(|&s| f(engine, s))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("seed-search worker panicked"))
+                .collect()
+        });
+        per_worker.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::s27;
+
+    #[test]
+    fn seed_queue_preserves_stream_order() {
+        let mut q = SeedQueue::new();
+        let mut rng = Rng::new(1);
+        let batch = q.draw(&mut rng, 4);
+        // Consume two, requeue the rest; the next draw must replay them.
+        q.requeue(&batch[2..]);
+        let next = q.draw(&mut rng, 4);
+        assert_eq!(next[0], batch[2]);
+        assert_eq!(next[1], batch[3]);
+        // And the fresh tail continues the same stream.
+        let mut reference = Rng::new(1);
+        let direct: Vec<u64> = (0..6).map(|_| reference.next_u64()).collect();
+        assert_eq!(&direct[..4], &batch[..]);
+        assert_eq!(&direct[4..], &next[2..]);
+    }
+
+    #[test]
+    fn evaluator_returns_results_in_seed_order() {
+        let net = s27();
+        let seeds: Vec<u64> = (0..23).collect();
+        for threads in [1, 2, 8] {
+            let opts = SearchOptions { batch: 8, threads };
+            let mut ev = BatchEvaluator::new(&net, &opts);
+            let out = ev.run(&seeds, |_, s| s * 3);
+            assert_eq!(out, seeds.iter().map(|s| s * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_options_resolve_to_one_thread() {
+        let o = SearchOptions::serial();
+        assert_eq!(o.resolved_threads(), 1);
+        o.validate();
+        assert!(SearchOptions::speculative(16).resolved_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be >= 1")]
+    fn zero_batch_rejected() {
+        SearchOptions {
+            batch: 0,
+            threads: 1,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,144 @@
+//! Instrumentation for the Chapter-4 generation loops.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters and per-phase wall-clock times collected by one generation run
+/// (`generate_unconstrained`, `generate_constrained*`,
+/// `improve_with_holding*`).
+///
+/// Counters are deterministic for a fixed configuration — including
+/// `wasted_evals`, which depends only on the batch size, not on the thread
+/// count. Wall-clock fields are measurements and vary run to run; equality
+/// checks on outcomes should compare the semantic fields, not the stats.
+#[derive(Debug, Clone, Default)]
+pub struct GenerationStats {
+    /// Candidate seeds consumed by the search (the serial loop's "tried").
+    pub seeds_tried: usize,
+    /// Candidates committed (selected seeds / segments).
+    pub seeds_kept: usize,
+    /// Speculative candidate evaluations performed (≥ `seeds_tried`).
+    pub evals: usize,
+    /// Evaluations whose results were discarded because an earlier
+    /// candidate in the round committed first (`evals - seeds_tried`).
+    pub wasted_evals: usize,
+    /// Fault-simulation engine invocations.
+    pub fsim_calls: usize,
+    /// Logic-simulated clock cycles (TPG expansion + admissibility +
+    /// trajectory replay).
+    pub sim_cycles: usize,
+    /// Wall time in the seed-selection / sequence-construction phase.
+    pub select_wall: Duration,
+    /// Wall time in the reverse-compaction phase (unconstrained method).
+    pub compact_wall: Duration,
+    /// Wall time of the whole run.
+    pub total_wall: Duration,
+}
+
+impl GenerationStats {
+    /// Fraction of speculative evaluations that were wasted, in `[0, 1]`.
+    pub fn waste_ratio(&self) -> f64 {
+        if self.evals == 0 {
+            0.0
+        } else {
+            self.wasted_evals as f64 / self.evals as f64
+        }
+    }
+
+    /// Accumulate another run's counters and times (used by the holding
+    /// stage, which performs many construction runs).
+    pub fn absorb(&mut self, other: &GenerationStats) {
+        self.seeds_tried += other.seeds_tried;
+        self.seeds_kept += other.seeds_kept;
+        self.evals += other.evals;
+        self.wasted_evals += other.wasted_evals;
+        self.fsim_calls += other.fsim_calls;
+        self.sim_cycles += other.sim_cycles;
+        self.select_wall += other.select_wall;
+        self.compact_wall += other.compact_wall;
+        self.total_wall += other.total_wall;
+    }
+
+    /// Render as a JSON object (no external dependencies; all fields are
+    /// numbers, durations in seconds).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seeds_tried\":{},\"seeds_kept\":{},\"evals\":{},\"wasted_evals\":{},\
+             \"fsim_calls\":{},\"sim_cycles\":{},\"select_wall_s\":{:.6},\
+             \"compact_wall_s\":{:.6},\"total_wall_s\":{:.6}}}",
+            self.seeds_tried,
+            self.seeds_kept,
+            self.evals,
+            self.wasted_evals,
+            self.fsim_calls,
+            self.sim_cycles,
+            self.select_wall.as_secs_f64(),
+            self.compact_wall.as_secs_f64(),
+            self.total_wall.as_secs_f64(),
+        )
+    }
+}
+
+impl fmt::Display for GenerationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seeds {}/{} kept, {} evals ({} wasted, {:.0}%), {} fsim calls, \
+             {} sim cycles, {:.3}s",
+            self.seeds_kept,
+            self.seeds_tried,
+            self.evals,
+            self.wasted_evals,
+            100.0 * self.waste_ratio(),
+            self.fsim_calls,
+            self.sim_cycles,
+            self.total_wall.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waste_ratio_handles_empty_runs() {
+        assert_eq!(GenerationStats::default().waste_ratio(), 0.0);
+        let s = GenerationStats {
+            evals: 4,
+            wasted_evals: 1,
+            ..GenerationStats::default()
+        };
+        assert!((s.waste_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = GenerationStats {
+            seeds_tried: 3,
+            evals: 5,
+            fsim_calls: 5,
+            ..GenerationStats::default()
+        };
+        let b = GenerationStats {
+            seeds_tried: 2,
+            evals: 2,
+            fsim_calls: 2,
+            wasted_evals: 1,
+            ..GenerationStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.seeds_tried, 5);
+        assert_eq!(a.evals, 7);
+        assert_eq!(a.fsim_calls, 7);
+        assert_eq!(a.wasted_evals, 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = GenerationStats::default().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"seeds_tried\":0"));
+        assert!(j.contains("\"total_wall_s\":0.000000"));
+    }
+}

@@ -9,16 +9,26 @@
 //! The procedure stops after `U` consecutive useless seeds, then a
 //! forward-looking fault-simulation pass prunes seeds made redundant by later
 //! ones.
+//!
+//! Candidate seeds are evaluated with the deterministic speculative-batch
+//! search of [`crate::search`]: per-seed expansion, simulation and detection
+//! checking run concurrently against a snapshot of the detection flags, and
+//! results commit serially in draw order, so the outcome is bit-identical to
+//! the serial loop for every `SearchOptions` setting.
+
+use std::time::Instant;
 
 use fbt_bist::{cube, Tpg, TpgSpec};
 use fbt_fault::{all_transition_faults, collapse, TransitionFault};
-use fbt_fault::{FaultSimEngine, PackedParallelSim};
+use fbt_fault::{BroadsideTest, FaultSimEngine, FaultSimOptions, TestSet};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
 use fbt_sim::seq::simulate_sequence;
 use fbt_sim::Bits;
 
 use crate::extract::functional_tests;
+use crate::search::{BatchEvaluator, SeedQueue};
+use crate::stats::GenerationStats;
 use crate::FunctionalBistConfig;
 
 /// Result of a built-in generation run.
@@ -34,6 +44,8 @@ pub struct GenerationOutcome {
     pub faults: Vec<TransitionFault>,
     /// Detection flag per fault.
     pub detected: Vec<bool>,
+    /// Instrumentation counters and wall times for this run.
+    pub stats: GenerationStats,
 }
 
 impl GenerationOutcome {
@@ -46,6 +58,18 @@ impl GenerationOutcome {
     pub fn num_detected(&self) -> usize {
         self.detected.iter().filter(|&&d| d).count()
     }
+}
+
+/// One speculative candidate evaluation: everything the commit step needs,
+/// computed against a snapshot of the detection flags.
+struct Candidate {
+    /// The extracted functional broadside tests (cached for compaction).
+    tests: Vec<BroadsideTest>,
+    /// Peak switching activity of the candidate's trajectory.
+    peak_swa: f64,
+    /// Faults this candidate newly detects relative to the snapshot
+    /// (empty = reject).
+    newly: Vec<usize>,
 }
 
 /// Run the unconstrained method of \[73\].
@@ -67,6 +91,7 @@ impl GenerationOutcome {
 /// [`FunctionalBistConfig::validate`]).
 pub fn generate_unconstrained(net: &Netlist, cfg: &FunctionalBistConfig) -> GenerationOutcome {
     cfg.validate();
+    let t0 = Instant::now();
     let spec = TpgSpec {
         lfsr_width: cfg.lfsr_width,
         m: cfg.m,
@@ -74,49 +99,102 @@ pub fn generate_unconstrained(net: &Netlist, cfg: &FunctionalBistConfig) -> Gene
     };
     let faults = collapse(net, &all_transition_faults(net));
     let mut detected = vec![false; faults.len()];
-    let mut fsim = PackedParallelSim::new(net);
     let mut rng = Rng::new(cfg.master_seed);
     let zero = Bits::zeros(net.num_dffs());
+    let mut stats = GenerationStats::default();
 
-    // Seed selection.
-    let mut kept: Vec<u64> = Vec::new();
+    let mut queue = SeedQueue::new();
+    let mut evaluator = BatchEvaluator::new(net, &cfg.search);
+    let inner = evaluator.inner_threads();
+
+    // Seed selection: speculative rounds over the seed stream, committed in
+    // draw order. Each kept seed's test vectors and peak activity are cached
+    // so the compaction pass below never re-expands or re-simulates.
+    let mut kept: Vec<(u64, Vec<BroadsideTest>, f64)> = Vec::new();
     let mut useless = 0usize;
     let mut tried = 0usize;
-    while useless < cfg.useless_seed_limit && tried < cfg.max_seeds {
-        tried += 1;
-        let seed = rng.next_u64();
-        let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
-        let traj = simulate_sequence(net, &zero, &pis);
-        let tests = functional_tests(&pis, &traj.states);
-        let newly = fsim.run(&tests, &faults, &mut detected);
-        if newly > 0 {
-            kept.push(seed);
-            useless = 0;
-        } else {
-            useless += 1;
+    'select: while useless < cfg.useless_seed_limit && tried < cfg.max_seeds {
+        let batch = queue.draw(&mut rng, cfg.search.batch);
+        let snapshot: &[bool] = &detected;
+        let evals = evaluator.run(&batch, |engine, seed| {
+            let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
+            let traj = simulate_sequence(net, &zero, &pis);
+            let tests = functional_tests(&pis, &traj.states);
+            let mut local = snapshot.to_vec();
+            let newly = engine
+                .simulate(
+                    TestSet::Broadside(&tests),
+                    &faults,
+                    &mut local,
+                    &FaultSimOptions::new().threads(inner),
+                )
+                .newly_detected;
+            let newly = if newly > 0 {
+                (0..local.len())
+                    .filter(|&i| local[i] && !snapshot[i])
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            Candidate {
+                tests,
+                peak_swa: traj.peak_swa(),
+                newly,
+            }
+        });
+        stats.evals += evals.len();
+        stats.fsim_calls += evals.len();
+        stats.sim_cycles += evals.len() * cfg.seq_len;
+        for (k, cand) in evals.into_iter().enumerate() {
+            if useless >= cfg.useless_seed_limit || tried >= cfg.max_seeds {
+                queue.requeue(&batch[k..]);
+                break 'select;
+            }
+            tried += 1;
+            if cand.newly.is_empty() {
+                useless += 1;
+            } else {
+                for i in cand.newly {
+                    detected[i] = true;
+                }
+                kept.push((batch[k], cand.tests, cand.peak_swa));
+                useless = 0;
+                // Later candidates in this round were evaluated against a
+                // stale snapshot: requeue their seeds for re-evaluation.
+                queue.requeue(&batch[k + 1..]);
+                continue 'select;
+            }
         }
     }
+    stats.seeds_tried = tried;
+    stats.seeds_kept = kept.len();
+    stats.wasted_evals = stats.evals - tried;
+    stats.select_wall = t0.elapsed();
 
     // Forward-looking compaction: walk the kept seeds in reverse order with
     // a fresh fault list; a seed whose tests detect nothing beyond what the
     // later-applied sequences already detect is dropped. Coverage is
-    // preserved by construction.
+    // preserved by construction. The cached test vectors from the selection
+    // pass make this a pure fault-simulation pass: no TPG re-expansion, no
+    // logic re-simulation.
+    let tc = Instant::now();
     let mut final_detected = vec![false; faults.len()];
     let mut final_seeds: Vec<u64> = Vec::new();
     let mut tests_applied = 0usize;
     let mut peak_swa = 0.0f64;
-    for &seed in kept.iter().rev() {
-        let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
-        let traj = simulate_sequence(net, &zero, &pis);
-        let tests = functional_tests(&pis, &traj.states);
-        let newly = fsim.run(&tests, &faults, &mut final_detected);
+    let fsim = evaluator.engine();
+    for (seed, tests, peak) in kept.iter().rev() {
+        let newly = fsim.run(tests, &faults, &mut final_detected);
+        stats.fsim_calls += 1;
         if newly > 0 {
-            final_seeds.push(seed);
+            final_seeds.push(*seed);
             tests_applied += tests.len();
-            peak_swa = peak_swa.max(traj.peak_swa());
+            peak_swa = peak_swa.max(*peak);
         }
     }
     final_seeds.reverse();
+    stats.compact_wall = tc.elapsed();
+    stats.total_wall = t0.elapsed();
 
     GenerationOutcome {
         seeds: final_seeds,
@@ -124,12 +202,15 @@ pub fn generate_unconstrained(net: &Netlist, cfg: &FunctionalBistConfig) -> Gene
         peak_swa,
         faults,
         detected: final_detected,
+        stats,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SearchOptions;
+    use fbt_fault::PackedParallelSim;
     use fbt_netlist::{s27, synth};
 
     #[test]
@@ -178,6 +259,43 @@ mod tests {
             fsim.run(&tests, &out.faults, &mut detected);
         }
         assert_eq!(detected, out.detected);
+    }
+
+    #[test]
+    fn compaction_runs_on_cached_vectors() {
+        // The selection pass is the only phase that logic-simulates: every
+        // evaluation costs exactly L cycles, and the compaction pass adds
+        // none (it reuses the cached test vectors).
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let out = generate_unconstrained(&net, &cfg);
+        assert_eq!(out.stats.sim_cycles, out.stats.evals * cfg.seq_len);
+        assert!(out.stats.seeds_tried <= out.stats.evals);
+        assert_eq!(
+            out.stats.wasted_evals,
+            out.stats.evals - out.stats.seeds_tried
+        );
+    }
+
+    #[test]
+    fn speculation_matches_serial_exactly() {
+        let net = s27();
+        let serial_cfg = FunctionalBistConfig {
+            search: SearchOptions::serial(),
+            ..FunctionalBistConfig::smoke()
+        };
+        let reference = generate_unconstrained(&net, &serial_cfg);
+        for batch in [2, 4, 16] {
+            let cfg = FunctionalBistConfig {
+                search: SearchOptions { batch, threads: 2 },
+                ..FunctionalBistConfig::smoke()
+            };
+            let out = generate_unconstrained(&net, &cfg);
+            assert_eq!(out.seeds, reference.seeds, "batch {batch}");
+            assert_eq!(out.detected, reference.detected, "batch {batch}");
+            assert_eq!(out.tests_applied, reference.tests_applied);
+            assert_eq!(out.peak_swa, reference.peak_swa);
+        }
     }
 
     #[test]

@@ -7,6 +7,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== no tracked build output =="
+# Build artifacts must never be committed (9.8k of them once were). Fail if
+# the index contains anything under a target/ directory or other build
+# output.
+tracked_artifacts=$(git ls-files -- 'target/*' '*/target/*' '*.rlib' '*.rmeta' '*.o' '*.d' || true)
+if [ -n "${tracked_artifacts}" ]; then
+    echo "error: build artifacts are tracked by git:" >&2
+    echo "${tracked_artifacts}" | head -20 >&2
+    echo "(run: git rm -r --cached target)" >&2
+    exit 1
+fi
+
 echo "== rustfmt =="
 cargo fmt --all --check
 
@@ -25,5 +37,13 @@ cargo test -q
 
 echo "== workspace tests =="
 cargo test --workspace -q
+
+echo "== bench_ch4 smoke (speculative search stats + JSON) =="
+# One small constrained generation with stats printing; the run itself
+# asserts serial and speculative modes reach identical coverage.
+bench_json=$(mktemp)
+BENCH_CH4_OUT="${bench_json}" cargo run --release -q -p fbt-bench --bin bench_ch4 smoke
+python3 -m json.tool "${bench_json}" > /dev/null
+rm -f "${bench_json}"
 
 echo "CI OK"

@@ -55,7 +55,7 @@ pub mod prelude {
 
     pub use fbt_core::{
         generate_constrained, generate_unconstrained, improve_with_holding, swafunc, Error,
-        FunctionalBistConfig,
+        FunctionalBistConfig, GenerationStats, SearchOptions,
     };
     pub use fbt_fault::{
         all_transition_faults, collapse, BroadsideTest, FaultSimEngine, FaultSimOptions,
