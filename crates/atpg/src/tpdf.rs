@@ -16,6 +16,7 @@ use fbt_sim::Trit;
 use crate::frames::{var_parts, FaultStatus, Frame, TwoFrame};
 use crate::necessary::{tpdf_analysis, Analysis, VarAssign};
 use crate::podem::{AtpgOutcome, Podem, PodemConfig};
+use crate::sat_backend::SatBackend;
 use crate::TestCube;
 
 /// Which sub-procedure decided a fault.
@@ -30,6 +31,9 @@ pub enum SubProcedure {
     Heuristic,
     /// §2.3.5 complete branch-and-bound.
     BranchBound,
+    /// SAT fallback: complete time-frame-expansion search resolving faults
+    /// the branch-and-bound aborted on, with UNSAT untestability proofs.
+    SatSolver,
 }
 
 /// The pipeline's verdict for one transition path delay fault.
@@ -65,6 +69,10 @@ pub struct TpdfConfig {
     pub heuristic_time_limit: Duration,
     /// Limits for the complete branch-and-bound per fault.
     pub bnb: PodemConfig,
+    /// Resolve faults the branch-and-bound aborts on with the complete SAT
+    /// backend ([`crate::SatBackend`]); its UNSAT verdicts surface as
+    /// [`SubProcedure::SatSolver`] untestability proofs in the statistics.
+    pub sat_fallback: bool,
     /// Random tie-break seed.
     pub seed: u64,
 }
@@ -81,6 +89,7 @@ impl Default for TpdfConfig {
                 backtrack_limit: 4096,
                 time_limit: Duration::from_secs(4),
             },
+            sat_fallback: true,
             seed: 0x7BDF,
         }
     }
@@ -336,6 +345,37 @@ pub fn run_pipeline(
         .insert(SubProcedure::BranchBound, undet_bnb);
     stats.times.insert(SubProcedure::BranchBound, t0.elapsed());
 
+    // ---- SAT fallback: complete time-frame-expansion search for whatever
+    // the branch-and-bound aborted on. Every verdict is definite — a model
+    // becomes a test, UNSAT is an untestability proof.
+    if cfg.sat_fallback {
+        let t0 = Instant::now();
+        let mut sat = SatBackend::new(net);
+        let mut det_sat = 0usize;
+        let mut undet_sat = 0usize;
+        for (i, f) in faults.iter().enumerate() {
+            if !matches!(statuses[i], Some(TpdfStatus::Aborted)) {
+                continue;
+            }
+            statuses[i] = Some(match sat.generate_tpdf(f) {
+                AtpgOutcome::Test(cube) => {
+                    det_sat += 1;
+                    TpdfStatus::Detected(SubProcedure::SatSolver, cube)
+                }
+                AtpgOutcome::Untestable => {
+                    undet_sat += 1;
+                    TpdfStatus::Undetectable(SubProcedure::SatSolver)
+                }
+                AtpgOutcome::Aborted => TpdfStatus::Aborted,
+            });
+        }
+        stats.detected.insert(SubProcedure::SatSolver, det_sat);
+        stats
+            .undetectable
+            .insert(SubProcedure::SatSolver, undet_sat);
+        stats.times.insert(SubProcedure::SatSolver, t0.elapsed());
+    }
+
     TpdfReport {
         statuses: statuses.into_iter().map(Option::unwrap).collect(),
         stats,
@@ -454,6 +494,7 @@ mod tests {
                 backtrack_limit: 100_000,
                 time_limit: Duration::from_secs(10),
             },
+            sat_fallback: true,
             seed: 7,
         }
     }

@@ -1,0 +1,139 @@
+//! `bench_sat` — wall-clock and search-effort benchmark of the CDCL SAT
+//! backend: every transition fault of each benchmark circuit is solved
+//! through the two-frame time-frame-expansion encoding, counting tests,
+//! untestability proofs and aborts alongside the solver's decision,
+//! conflict and propagation totals.
+//!
+//! The run re-solves the first circuit and asserts bit-identical solver
+//! statistics — the determinism guarantee the differential suite relies on.
+//!
+//! Prints a per-circuit table and writes a machine-readable summary to
+//! `BENCH_sat.json` (override the path with `BENCH_SAT_OUT`).
+
+use std::time::Instant;
+
+use fbt_bench::{ch2, fmt_duration, Scale, Table};
+use fbt_fault::all_transition_faults;
+use fbt_netlist::{s27, Netlist};
+use fbt_sat::{solve_transition_fault, DetectionVerdict, SolverStats};
+
+struct Entry {
+    circuit: String,
+    faults: usize,
+    tests: usize,
+    untestable: usize,
+    aborted: usize,
+    wall_ms: u128,
+    solver: SolverStats,
+}
+
+impl Entry {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"circuit\":\"{}\",\"faults\":{},\"tests\":{},\"untestable\":{},\
+             \"aborted\":{},\"wall_ms\":{},\"solver\":{}}}",
+            self.circuit,
+            self.faults,
+            self.tests,
+            self.untestable,
+            self.aborted,
+            self.wall_ms,
+            self.solver.to_json(),
+        )
+    }
+}
+
+fn run_circuit(net: &Netlist, conflict_limit: Option<u64>) -> Entry {
+    let faults = all_transition_faults(net);
+    let mut entry = Entry {
+        circuit: net.name().to_string(),
+        faults: faults.len(),
+        tests: 0,
+        untestable: 0,
+        aborted: 0,
+        wall_ms: 0,
+        solver: SolverStats::default(),
+    };
+    let t0 = Instant::now();
+    for fault in &faults {
+        let (verdict, stats) = solve_transition_fault(net, fault, conflict_limit);
+        entry.solver.absorb(&stats);
+        match verdict {
+            DetectionVerdict::Test(_) => entry.tests += 1,
+            DetectionVerdict::Untestable => entry.untestable += 1,
+            DetectionVerdict::Unknown => entry.aborted += 1,
+        }
+    }
+    entry.wall_ms = t0.elapsed().as_millis();
+    entry
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let conflict_limit = match scale {
+        Scale::Smoke => Some(20_000),
+        Scale::Default => Some(200_000),
+        Scale::Paper => None,
+    };
+
+    let mut nets = vec![s27()];
+    for name in ch2::small_circuits(scale) {
+        nets.push(fbt_bench::circuit(scale, name));
+    }
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut t = Table::new(&[
+        "Circuit",
+        "Faults",
+        "Tests",
+        "Untest",
+        "Abort",
+        "Conflicts",
+        "Props",
+        "Wall",
+    ]);
+    for net in &nets {
+        let e = run_circuit(net, conflict_limit);
+        println!(
+            "{:>12}: {}/{} testable, {}",
+            e.circuit, e.tests, e.faults, e.solver
+        );
+        t.row(vec![
+            e.circuit.clone(),
+            e.faults.to_string(),
+            e.tests.to_string(),
+            e.untestable.to_string(),
+            e.aborted.to_string(),
+            e.solver.conflicts.to_string(),
+            e.solver.propagations.to_string(),
+            fmt_duration(std::time::Duration::from_millis(e.wall_ms as u64)),
+        ]);
+        entries.push(e);
+    }
+
+    // Determinism guarantee: a repeated run must reproduce the verdict
+    // counts and the exact search statistics, not merely the verdicts.
+    let again = run_circuit(&nets[0], conflict_limit);
+    assert_eq!(
+        (again.tests, again.untestable, again.aborted),
+        (entries[0].tests, entries[0].untestable, entries[0].aborted),
+        "verdict counts changed between runs"
+    );
+    assert_eq!(
+        again.solver, entries[0].solver,
+        "solver statistics changed between runs"
+    );
+
+    t.print(&format!(
+        "bench_sat: CDCL transition-fault solving [{scale:?}]"
+    ));
+
+    let body: Vec<String> = entries.iter().map(Entry::to_json).collect();
+    let json = format!(
+        "{{\"scale\":\"{scale:?}\",\"entries\":[{}]}}\n",
+        body.join(",")
+    );
+    let path = std::env::var("BENCH_SAT_OUT").unwrap_or_else(|_| "BENCH_sat.json".to_string());
+    std::fs::write(&path, json).expect("write benchmark JSON");
+    println!("\nwrote {path}");
+}

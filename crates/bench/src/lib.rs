@@ -78,6 +78,7 @@ impl Scale {
                     backtrack_limit: 1_000,
                     time_limit: Duration::from_millis(300),
                 },
+                sat_fallback: true,
                 seed: 0x7BDF,
             },
             Scale::Default => TpdfConfig::default(),
@@ -91,6 +92,7 @@ impl Scale {
                     backtrack_limit: 1_000_000,
                     time_limit: Duration::from_secs(120),
                 },
+                sat_fallback: true,
                 seed: 0x7BDF,
             },
         }

@@ -22,8 +22,12 @@
 //!   hold-set selection of Fig. 4.12;
 //! * [`stp`] — the signal-transition-pattern deviation metric sketched as
 //!   future work (§5.1, \[90\]);
-//! * [`experiment`] — the harness producing the rows of Tables 4.2–4.4.
+//! * [`experiment`] — the harness producing the rows of Tables 4.2–4.4;
+//! * [`certify`] — SAT-backed bounded-reachability certification that every
+//!   generated test's scan-in state really is reachable from reset within a
+//!   cycle bound, independently of the simulator.
 
+pub mod certify;
 mod config;
 pub mod constrained;
 pub mod curve;
@@ -39,6 +43,7 @@ pub mod stats;
 pub mod stp;
 pub mod unconstrained;
 
+pub use certify::{certify_state, certify_tests, CertificationReport, TestCertificate};
 pub use config::{DeviationMetric, FunctionalBistConfig};
 pub use constrained::{
     generate_constrained, generate_constrained_from, generate_constrained_with_library,

@@ -1,98 +1,10 @@
-//! Legacy fault-simulation entry point and coverage helpers.
+//! Coverage metrics over detection flags and n-detect profiles.
 //!
-//! The simulator itself now lives in [`crate::engine`] behind the
-//! [`FaultSimEngine`](crate::engine::FaultSimEngine) trait; [`FaultSim`]
-//! remains as a deprecated shim that delegates every call to
-//! [`SerialSim`](crate::engine::SerialSim) so existing code keeps working
-//! during the migration.
-
-use fbt_netlist::Netlist;
-
-use crate::engine::{FaultSimEngine, SerialSim};
-use crate::{BroadsideTest, TransitionFault, TwoPatternTest};
-
-/// Deprecated façade over [`SerialSim`].
-///
-/// New code should use the [`FaultSimEngine`] trait directly — with
-/// [`SerialSim`] for oracle-grade serial simulation or
-/// [`PackedParallelSim`](crate::engine::PackedParallelSim) for the
-/// multi-threaded PPSFP engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `FaultSimEngine` trait with `SerialSim` or `PackedParallelSim` from `fbt_fault::engine`"
-)]
-#[derive(Debug)]
-pub struct FaultSim<'a> {
-    inner: SerialSim<'a>,
-}
-
-#[allow(deprecated)]
-impl<'a> FaultSim<'a> {
-    /// Build a simulator (precomputes observability).
-    pub fn new(net: &'a Netlist) -> Self {
-        FaultSim {
-            inner: SerialSim::new(net),
-        }
-    }
-
-    /// Simulate `tests` against the faults whose `detected` flag is still
-    /// false; see [`FaultSimEngine::run`].
-    pub fn run(
-        &mut self,
-        tests: &[BroadsideTest],
-        faults: &[TransitionFault],
-        detected: &mut [bool],
-    ) -> usize {
-        self.inner.run(tests, faults, detected)
-    }
-
-    /// Simulate two-pattern tests with explicit second states; see
-    /// [`FaultSimEngine::run_two_pattern`].
-    pub fn run_two_pattern(
-        &mut self,
-        tests: &[TwoPatternTest],
-        faults: &[TransitionFault],
-        detected: &mut [bool],
-    ) -> usize {
-        self.inner.run_two_pattern(tests, faults, detected)
-    }
-
-    /// First-detection indices; see [`FaultSimEngine::first_detections`].
-    pub fn run_first_detection(
-        &mut self,
-        tests: &[BroadsideTest],
-        faults: &[TransitionFault],
-        detected: &mut [bool],
-    ) -> Vec<Option<usize>> {
-        self.inner.first_detections(tests, faults, detected)
-    }
-
-    /// N-detection profile; see [`FaultSimEngine::n_detect_profile`].
-    pub fn run_n_detect(
-        &mut self,
-        tests: &[BroadsideTest],
-        faults: &[TransitionFault],
-        cap: usize,
-    ) -> Vec<usize> {
-        self.inner.n_detect_profile(tests, faults, cap)
-    }
-
-    /// Full detection matrix as raw rows; see
-    /// [`FaultSimEngine::detection_matrix`].
-    pub fn detection_matrix(
-        &mut self,
-        tests: &[BroadsideTest],
-        faults: &[TransitionFault],
-    ) -> Vec<Vec<u64>> {
-        FaultSimEngine::detection_matrix(&mut self.inner, tests, faults).into_rows()
-    }
-
-    /// Does a single test detect a single fault? See
-    /// [`FaultSimEngine::detects`].
-    pub fn detects(&mut self, test: &BroadsideTest, fault: &TransitionFault) -> bool {
-        self.inner.detects(test, fault)
-    }
-}
+//! The simulator itself lives in [`crate::engine`] behind the
+//! [`FaultSimEngine`](crate::engine::FaultSimEngine) trait — use
+//! [`SerialSim`](crate::engine::SerialSim) for oracle-grade serial
+//! simulation or [`PackedParallelSim`](crate::engine::PackedParallelSim)
+//! for the multi-threaded PPSFP engine.
 
 /// Fault coverage: detected / total, in percent.
 pub fn coverage_percent(detected: &[bool]) -> f64 {
@@ -118,12 +30,8 @@ pub fn n_detect_coverage(counts: &[usize], n: usize) -> f64 {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::all_transition_faults;
-    use fbt_netlist::rng::Rng;
-    use fbt_netlist::s27;
 
     #[test]
     fn coverage_percent_edges() {
@@ -137,39 +45,5 @@ mod tests {
         assert_eq!(n_detect_coverage(&[], 1), 0.0);
         assert_eq!(n_detect_coverage(&[0, 1, 2, 3], 1), 75.0);
         assert_eq!(n_detect_coverage(&[0, 1, 2, 3], 3), 25.0);
-    }
-
-    /// The deprecated shim gives the same answers as the engine it wraps.
-    #[test]
-    fn legacy_shim_delegates_faithfully() {
-        let net = s27();
-        let faults = all_transition_faults(&net);
-        let mut rng = Rng::new(17);
-        let tests: Vec<BroadsideTest> = (0..96)
-            .map(|_| {
-                BroadsideTest::new(
-                    (0..3).map(|_| rng.bit()).collect(),
-                    (0..4).map(|_| rng.bit()).collect(),
-                    (0..4).map(|_| rng.bit()).collect(),
-                )
-            })
-            .collect();
-        let mut legacy = FaultSim::new(&net);
-        let mut engine = SerialSim::new(&net);
-        let mut det_l = vec![false; faults.len()];
-        let mut det_e = vec![false; faults.len()];
-        assert_eq!(
-            legacy.run(&tests, &faults, &mut det_l),
-            engine.run(&tests, &faults, &mut det_e)
-        );
-        assert_eq!(det_l, det_e);
-        assert_eq!(
-            legacy.run_n_detect(&tests, &faults, 4),
-            engine.n_detect_profile(&tests, &faults, 4)
-        );
-        assert_eq!(
-            legacy.detection_matrix(&tests, &faults),
-            FaultSimEngine::detection_matrix(&mut engine, &tests, &faults).into_rows()
-        );
     }
 }

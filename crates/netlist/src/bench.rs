@@ -161,16 +161,12 @@ mod tests {
         assert!(matches!(parse(src, "bad"), Err(NetlistError::Parse { .. })));
     }
 
-    #[test]
-    fn roundtrip_s27() {
-        let n = crate::s27();
-        let text = write(&n);
-        let m = parse(&text, "s27").unwrap();
-        assert_eq!(m.num_nodes(), n.num_nodes());
-        assert_eq!(m.num_inputs(), n.num_inputs());
-        assert_eq!(m.num_dffs(), n.num_dffs());
-        assert_eq!(m.num_outputs(), n.num_outputs());
-        // Same structure under the same names.
+    /// Same structure under the same names.
+    fn assert_structurally_equal(n: &Netlist, m: &Netlist) {
+        assert_eq!(m.num_nodes(), n.num_nodes(), "{}", n.name());
+        assert_eq!(m.num_inputs(), n.num_inputs(), "{}", n.name());
+        assert_eq!(m.num_dffs(), n.num_dffs(), "{}", n.name());
+        assert_eq!(m.num_outputs(), n.num_outputs(), "{}", n.name());
         for id in n.node_ids() {
             let name = n.node_name(id);
             let mid = m.find(name).unwrap();
@@ -190,6 +186,32 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "fanins of {name}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_s27() {
+        let n = crate::s27();
+        let text = write(&n);
+        let m = parse(&text, "s27").unwrap();
+        assert_structurally_equal(&n, &m);
+    }
+
+    /// Every circuit in the small ISCAS catalog survives a write → parse
+    /// round trip structurally unchanged.
+    #[test]
+    fn roundtrip_every_iscas_small_circuit() {
+        let specs = crate::synth::iscas_small();
+        assert!(!specs.is_empty());
+        for spec in &specs {
+            let n = crate::synth::generate(spec);
+            let text = write(&n);
+            let m = parse(&text, n.name())
+                .unwrap_or_else(|e| panic!("written .bench for {} failed to parse: {e}", n.name()));
+            assert_structurally_equal(&n, &m);
+            // A second round trip is textually identical (writer is
+            // deterministic and parse preserves everything write emits).
+            assert_eq!(write(&m), text, "{} is not a fixed point", n.name());
         }
     }
 

@@ -1,0 +1,145 @@
+//! Boolean variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A Boolean variable, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The index as `usize`, for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    // Not `std::ops::Neg`: negating a variable yields a *literal*, and an
+    // operator that changes type would read worse than `v.neg()`.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn neg(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// The literal of this variable with the given polarity (`true` =
+    /// positive).
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var << 1 | sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The packed code (`var << 1 | sign`), an index into watch lists.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The truth value this literal takes when its variable is assigned
+    /// `value`.
+    #[inline]
+    pub fn eval(self, value: bool) -> bool {
+        value != self.is_neg()
+    }
+
+    /// Apply an extra negation when `negate` is true (useful for encoding
+    /// inverting gates).
+    #[inline]
+    pub fn xor_neg(self, negate: bool) -> Lit {
+        Lit(self.0 ^ negate as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrip() {
+        let v = Var(7);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(!v.pos().is_neg());
+        assert!(v.neg().is_neg());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(!(!v.pos()), v.pos());
+        assert_eq!(v.lit(true), v.pos());
+        assert_eq!(v.lit(false), v.neg());
+    }
+
+    #[test]
+    fn eval_respects_sign() {
+        let v = Var(3);
+        assert!(v.pos().eval(true));
+        assert!(!v.pos().eval(false));
+        assert!(v.neg().eval(false));
+        assert!(!v.neg().eval(true));
+    }
+
+    #[test]
+    fn xor_neg_flips_conditionally() {
+        let l = Var(2).pos();
+        assert_eq!(l.xor_neg(false), l);
+        assert_eq!(l.xor_neg(true), !l);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Var(4).pos().to_string(), "x4");
+        assert_eq!(Var(4).neg().to_string(), "¬x4");
+    }
+}

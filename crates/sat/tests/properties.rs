@@ -1,0 +1,57 @@
+//! Property-based equivalence of the CDCL solver against brute-force
+//! enumeration on ≤ 20-variable formulas.
+//!
+//! Gated behind the `proptest` feature because the offline build
+//! environment cannot fetch the `proptest` crate; enabling the feature
+//! requires registry access and re-adding the dev-dependency. The same
+//! checks run unconditionally, with the in-tree RNG, in
+//! `tests/brute_force.rs`.
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+
+use fbt_sat::{Lit, SatResult, Solver, Var};
+
+fn arb_cnf() -> impl Strategy<Value = (usize, Vec<Vec<Lit>>)> {
+    (3usize..=20).prop_flat_map(|num_vars| {
+        let lit = (0..num_vars as u32, any::<bool>()).prop_map(|(v, s)| Var(v).lit(s));
+        let clause = prop::collection::vec(lit, 1..=4);
+        prop::collection::vec(clause, 1..=4 * num_vars).prop_map(move |clauses| (num_vars, clauses))
+    })
+}
+
+fn brute_force_satisfiable(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    (0..1u64 << num_vars).any(|a| {
+        clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval((a >> l.var().index()) & 1 == 1)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The solver's verdict equals exhaustive enumeration, and every model
+    /// satisfies every clause.
+    #[test]
+    fn solver_equals_brute_force((num_vars, clauses) in arb_cnf()) {
+        let mut solver = Solver::new();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for c in &clauses {
+            solver.add_clause(c);
+        }
+        let brute = brute_force_satisfiable(num_vars, &clauses);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                prop_assert!(brute);
+                for c in &clauses {
+                    prop_assert!(c.iter().any(|&l| model.lit(l)));
+                }
+            }
+            SatResult::Unsat => prop_assert!(!brute),
+            SatResult::Unknown => prop_assert!(false, "no conflict limit was set"),
+        }
+    }
+}

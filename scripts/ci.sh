@@ -22,12 +22,8 @@ fi
 echo "== rustfmt =="
 cargo fmt --all --check
 
-echo "== clippy (workspace; engine module denies warnings) =="
-# The fault-simulation engine is the PR-critical subsystem: any clippy
-# warning in fbt-fault is a hard failure. The rest of the workspace is
-# linted at default level so new warnings surface in the log.
-cargo clippy -p fbt-fault --all-targets -- -D warnings
-cargo clippy --workspace --all-targets
+echo "== clippy (workspace, deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== offline release build =="
 cargo build --release --offline
@@ -45,5 +41,13 @@ bench_json=$(mktemp)
 BENCH_CH4_OUT="${bench_json}" cargo run --release -q -p fbt-bench --bin bench_ch4 smoke
 python3 -m json.tool "${bench_json}" > /dev/null
 rm -f "${bench_json}"
+
+echo "== bench_sat smoke (CDCL solver stats + JSON) =="
+# Solves every transition fault of the smoke circuits through the SAT
+# backend; the run itself asserts repeated solving is bit-identical.
+sat_json=$(mktemp)
+BENCH_SAT_OUT="${sat_json}" cargo run --release -q -p fbt-bench --bin bench_sat smoke
+python3 -m json.tool "${sat_json}" > /dev/null
+rm -f "${sat_json}"
 
 echo "CI OK"

@@ -18,6 +18,8 @@
 //! * [`atpg`] — two-frame implications, PODEM, TPDF test generation
 //! * [`timing`] — STA, case analysis, critical-path selection
 //! * [`bist`] — LFSR/MISR/TPG hardware models, state holding, area model
+//! * [`sat`] — CDCL SAT solver and time-frame-expansion CNF encoding, for
+//!   untestability proofs and reachability certification
 //! * [`core`] — functional broadside BIST generation (the paper's method)
 //!
 //! # Quickstart
@@ -37,6 +39,7 @@ pub use fbt_bist as bist;
 pub use fbt_core as core;
 pub use fbt_fault as fault;
 pub use fbt_netlist as netlist;
+pub use fbt_sat as sat;
 pub use fbt_sim as sim;
 pub use fbt_timing as timing;
 
@@ -62,5 +65,6 @@ pub mod prelude {
         PackedParallelSim, SerialSim, TransitionFault, TwoPatternTest,
     };
     pub use fbt_netlist::{Netlist, NetlistBuilder, NodeId};
+    pub use fbt_sat::{solve_transition_fault, DetectionVerdict, Solver};
     pub use fbt_sim::Bits;
 }
