@@ -22,6 +22,11 @@ use crate::TestCube;
 /// Which sub-procedure decided a fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubProcedure {
+    /// Static lint pre-flight: transition faults on structurally constant
+    /// or combinationally unobservable lines are untestable by
+    /// construction ([`fbt_lint::PreflightEvidence`]), so the path faults
+    /// containing them are decided before any search runs.
+    Preflight,
     /// §2.3.2 preprocessing (includes undetectable transition faults found
     /// during §2.3.1 test generation).
     Preprocess,
@@ -73,6 +78,11 @@ pub struct TpdfConfig {
     /// backend ([`crate::SatBackend`]); its UNSAT verdicts surface as
     /// [`SubProcedure::SatSolver`] untestability proofs in the statistics.
     pub sat_fallback: bool,
+    /// Decide faults on structurally constant or unobservable lines as
+    /// untestable before any search runs ([`SubProcedure::Preflight`]).
+    /// Sound for every circuit: skipped faults are untestable under any
+    /// test, so the remaining verdicts are unchanged.
+    pub preflight: bool,
     /// Random tie-break seed.
     pub seed: u64,
 }
@@ -90,6 +100,7 @@ impl Default for TpdfConfig {
                 time_limit: Duration::from_secs(4),
             },
             sat_fallback: true,
+            preflight: true,
             seed: 0x7BDF,
         }
     }
@@ -201,9 +212,6 @@ pub fn run_pipeline(
     let mut statuses: Vec<Option<TpdfStatus>> = vec![None; faults.len()];
     let mut rng = Rng::new(cfg.seed);
 
-    // ---- Sub-procedure 1: deterministic test generation for the unique
-    // transition faults along the paths (§2.3.1).
-    let t0 = Instant::now();
     let mut unique_tfs: Vec<TransitionFault> = Vec::new();
     let mut tf_index: HashMap<TransitionFault, usize> = HashMap::new();
     for f in faults {
@@ -214,10 +222,48 @@ pub fn run_pipeline(
             });
         }
     }
+
+    // ---- Sub-procedure 0: static lint pre-flight. A transition fault on a
+    // structurally constant line can never launch, and one on a
+    // combinationally unobservable line can never propagate; a path fault
+    // containing such a transition fault is undetectable without search.
+    let mut undetectable_tfs: HashSet<TransitionFault> = HashSet::new();
+    if cfg.preflight {
+        let t0 = Instant::now();
+        let evidence = fbt_lint::PreflightEvidence::analyze(net);
+        for t in &unique_tfs {
+            if evidence.transition_untestable(t.line) {
+                undetectable_tfs.insert(*t);
+            }
+        }
+        let mut undet_pre = 0usize;
+        if !undetectable_tfs.is_empty() {
+            for (i, f) in faults.iter().enumerate() {
+                if f.transition_faults(net)
+                    .iter()
+                    .any(|t| undetectable_tfs.contains(t))
+                {
+                    statuses[i] = Some(TpdfStatus::Undetectable(SubProcedure::Preflight));
+                    undet_pre += 1;
+                }
+            }
+        }
+        stats
+            .undetectable
+            .insert(SubProcedure::Preflight, undet_pre);
+        stats.times.insert(SubProcedure::Preflight, t0.elapsed());
+    }
+
+    // ---- Sub-procedure 1: deterministic test generation for the unique
+    // transition faults along the paths (§2.3.1). Pre-flight-decided faults
+    // skip PODEM entirely.
+    let t0 = Instant::now();
     let mut podem = Podem::new(net, cfg.tf_podem);
     let mut tf_tests: Vec<BroadsideTest> = Vec::new();
-    let mut undetectable_tfs: HashSet<TransitionFault> = HashSet::new();
     for t in &unique_tfs {
+        if undetectable_tfs.contains(t) {
+            continue;
+        }
         match podem.generate(t) {
             AtpgOutcome::Test(cube) => tf_tests.push(cube.fill_random(&mut rng)),
             AtpgOutcome::Untestable => {
@@ -231,21 +277,21 @@ pub fn run_pipeline(
     // ---- Sub-procedure 2: preprocessing (§2.3.2).
     let t0 = Instant::now();
     let mut necessary: Vec<Option<Vec<VarAssign>>> = vec![None; faults.len()];
+    let mut undet_prep = 0usize;
     for (i, f) in faults.iter().enumerate() {
+        if statuses[i].is_some() {
+            continue;
+        }
         match tpdf_analysis(net, f, &undetectable_tfs) {
             Analysis::Undetectable => {
                 statuses[i] = Some(TpdfStatus::Undetectable(SubProcedure::Preprocess));
+                undet_prep += 1;
             }
             Analysis::Potential(sets) => {
                 necessary[i] = Some(sets.input_necessary);
             }
         }
     }
-    let undet_prep = statuses
-        .iter()
-        .flatten()
-        .filter(|s| s.is_undetectable())
-        .count();
     stats
         .undetectable
         .insert(SubProcedure::Preprocess, undet_prep);
@@ -495,6 +541,7 @@ mod tests {
                 time_limit: Duration::from_secs(10),
             },
             sat_fallback: true,
+            preflight: true,
             seed: 7,
         }
     }
@@ -547,6 +594,39 @@ mod tests {
         let undet_sum: usize = report.stats.undetectable.values().sum();
         assert_eq!(det_sum, report.num_detected());
         assert_eq!(undet_sum, report.num_undetectable());
+    }
+
+    #[test]
+    fn preflight_decides_constant_line_faults() {
+        // Paths through a structurally constant gate are untestable; the
+        // pre-flight must decide them without search and without changing
+        // any other verdict.
+        let mut b = fbt_netlist::NetlistBuilder::new("pf");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate(GateKind::Not, "na", &["a"]).unwrap();
+        b.gate(GateKind::And, "k0", &["a", "na"]).unwrap(); // constant 0
+        b.gate(GateKind::Or, "y", &["k0", "c"]).unwrap();
+        b.output("y").unwrap();
+        let net = b.finish().unwrap();
+
+        let faults = tpdf_list(&enumerate_paths(&net, usize::MAX));
+        let with = run_pipeline(&net, &faults, &quick_cfg());
+        let decided = with
+            .stats
+            .undetectable
+            .get(&SubProcedure::Preflight)
+            .copied()
+            .unwrap_or(0);
+        assert!(decided >= 1, "paths through k0 must be decided up front");
+
+        let mut cfg = quick_cfg();
+        cfg.preflight = false;
+        let without = run_pipeline(&net, &faults, &cfg);
+        for (x, y) in with.statuses.iter().zip(&without.statuses) {
+            assert_eq!(x.is_detected(), y.is_detected());
+            assert_eq!(x.is_undetectable(), y.is_undetectable());
+        }
     }
 
     #[test]

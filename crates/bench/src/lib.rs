@@ -79,6 +79,7 @@ impl Scale {
                     time_limit: Duration::from_millis(300),
                 },
                 sat_fallback: true,
+                preflight: true,
                 seed: 0x7BDF,
             },
             Scale::Default => TpdfConfig::default(),
@@ -93,6 +94,7 @@ impl Scale {
                     time_limit: Duration::from_secs(120),
                 },
                 sat_fallback: true,
+                preflight: true,
                 seed: 0x7BDF,
             },
         }

@@ -52,6 +52,14 @@ pub struct FunctionalBistConfig {
     pub hold_tree_height: u32,
     /// Master seed for all pseudo-random decisions.
     pub master_seed: u64,
+    /// Skip faults that static lint analysis proves untestable by
+    /// construction (structurally constant or combinationally unobservable
+    /// lines) before any simulation runs. Sound: skipped faults are
+    /// undetectable under every test, so the outcome — seeds, sequences and
+    /// the full-length detection flags — is bit-identical either way; only
+    /// the simulated fault count shrinks (see
+    /// [`crate::GenerationStats::faults_skipped_lint`]).
+    pub lint_preflight: bool,
     /// Deviation metric for constrained generation.
     pub metric: DeviationMetric,
     /// Speculative seed-search tunables (batch size, worker threads). Any
@@ -77,6 +85,7 @@ impl FunctionalBistConfig {
             hold_period_log2: 2,
             hold_tree_height: 6,
             master_seed: 0x0FB7_2011,
+            lint_preflight: true,
             metric: DeviationMetric::SwitchingActivity,
             search: SearchOptions::default(),
         }

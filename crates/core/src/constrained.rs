@@ -293,8 +293,16 @@ fn run(
     };
     let faults = collapse(net, &all_transition_faults(net));
     let mut detected = vec![false; faults.len()];
+    // Lint pre-flight: statically untestable faults never enter the
+    // simulator; they stay `false` in the full-length flags, so the outcome
+    // is bit-identical with the pre-flight off (see [`crate::preflight`]).
+    let (active_faults, active_idx) =
+        crate::preflight::project_active(net, &faults, cfg.lint_preflight);
     let mut rng = Rng::new(cfg.master_seed);
-    let mut stats = GenerationStats::default();
+    let mut stats = GenerationStats {
+        faults_skipped_lint: faults.len() - active_faults.len(),
+        ..GenerationStats::default()
+    };
 
     let mut queue = SeedQueue::new();
     let mut evaluator = BatchEvaluator::new(net, &cfg.search);
@@ -335,18 +343,21 @@ fn run(
                 let prefix = &pis[..len];
                 let traj = simulate_sequence(net, start, prefix);
                 let tests = functional_tests(prefix, &traj.states);
-                let mut local = snapshot.to_vec();
+                // Simulate only the lint-surviving faults; report newly
+                // detected ones as indices into the full list.
+                let mut local: Vec<bool> = active_idx.iter().map(|&i| snapshot[i]).collect();
                 let newly = engine
                     .simulate(
                         TestSet::Broadside(&tests),
-                        &faults,
+                        &active_faults,
                         &mut local,
                         &FaultSimOptions::new().threads(inner),
                     )
                     .newly_detected;
                 let newly = if newly > 0 {
                     (0..local.len())
-                        .filter(|&i| local[i] && !snapshot[i])
+                        .filter(|&j| local[j] && !snapshot[active_idx[j]])
+                        .map(|j| active_idx[j])
                         .collect()
                 } else {
                     Vec::new()
@@ -574,6 +585,38 @@ mod tests {
     fn empty_initial_states_rejected() {
         let net = s27();
         let _ = generate_constrained_from(&net, 1.0, &FunctionalBistConfig::smoke(), &[]);
+    }
+
+    #[test]
+    fn lint_preflight_preserves_constrained_outcome() {
+        // Same circuit shape as the unconstrained pre-flight test: healthy
+        // sequential logic plus a constant gate and a dangling chain.
+        use fbt_netlist::{GateKind, NetlistBuilder};
+        let mut b = NetlistBuilder::new("dead");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate(GateKind::Not, "na", &["a"]).unwrap();
+        b.gate(GateKind::And, "k0", &["a", "na"]).unwrap();
+        b.gate(GateKind::Or, "y", &["k0", "c"]).unwrap();
+        b.gate(GateKind::Not, "dead", &["c"]).unwrap();
+        b.gate(GateKind::Xor, "nxt", &["y", "q"]).unwrap();
+        b.dff("q", "nxt").unwrap();
+        b.output("y").unwrap();
+        let net = b.finish().unwrap();
+
+        let on = FunctionalBistConfig::smoke();
+        let off = FunctionalBistConfig {
+            lint_preflight: false,
+            ..on.clone()
+        };
+        let a = generate_constrained(&net, 1.0, &on);
+        let b = generate_constrained(&net, 1.0, &off);
+        assert!(a.stats.faults_skipped_lint >= 2);
+        assert_eq!(b.stats.faults_skipped_lint, 0);
+        assert_eq!(a.sequences, b.sequences);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.tests_applied, b.tests_applied);
+        assert_eq!(a.stats.seeds_tried, b.stats.seeds_tried);
     }
 
     #[test]

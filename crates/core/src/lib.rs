@@ -37,6 +37,7 @@ pub mod experiment;
 pub mod extract;
 pub mod holding;
 pub mod overtest;
+mod preflight;
 pub mod search;
 pub mod session;
 pub mod stats;

@@ -24,6 +24,12 @@ pub struct GenerationStats {
     pub wasted_evals: usize,
     /// Fault-simulation engine invocations.
     pub fsim_calls: usize,
+    /// Faults excluded from simulation because the lint pre-flight proved
+    /// them untestable by construction (structurally constant or
+    /// combinationally unobservable lines). They stay undetected in the
+    /// outcome's full-length flags — exactly what simulating them would
+    /// yield — so this only measures avoided work.
+    pub faults_skipped_lint: usize,
     /// Logic-simulated clock cycles (TPG expansion + admissibility +
     /// trajectory replay).
     pub sim_cycles: usize,
@@ -53,6 +59,10 @@ impl GenerationStats {
         self.evals += other.evals;
         self.wasted_evals += other.wasted_evals;
         self.fsim_calls += other.fsim_calls;
+        // The pre-flight verdict is a property of the circuit, not of the
+        // run: absorbing another run over the same circuit must not double
+        // the count.
+        self.faults_skipped_lint = self.faults_skipped_lint.max(other.faults_skipped_lint);
         self.sim_cycles += other.sim_cycles;
         self.select_wall += other.select_wall;
         self.compact_wall += other.compact_wall;
@@ -64,13 +74,15 @@ impl GenerationStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"seeds_tried\":{},\"seeds_kept\":{},\"evals\":{},\"wasted_evals\":{},\
-             \"fsim_calls\":{},\"sim_cycles\":{},\"select_wall_s\":{:.6},\
+             \"fsim_calls\":{},\"faults_skipped_lint\":{},\"sim_cycles\":{},\
+             \"select_wall_s\":{:.6},\
              \"compact_wall_s\":{:.6},\"total_wall_s\":{:.6}}}",
             self.seeds_tried,
             self.seeds_kept,
             self.evals,
             self.wasted_evals,
             self.fsim_calls,
+            self.faults_skipped_lint,
             self.sim_cycles,
             self.select_wall.as_secs_f64(),
             self.compact_wall.as_secs_f64(),
@@ -84,13 +96,14 @@ impl fmt::Display for GenerationStats {
         write!(
             f,
             "seeds {}/{} kept, {} evals ({} wasted, {:.0}%), {} fsim calls, \
-             {} sim cycles, {:.3}s",
+             {} faults lint-skipped, {} sim cycles, {:.3}s",
             self.seeds_kept,
             self.seeds_tried,
             self.evals,
             self.wasted_evals,
             100.0 * self.waste_ratio(),
             self.fsim_calls,
+            self.faults_skipped_lint,
             self.sim_cycles,
             self.total_wall.as_secs_f64(),
         )

@@ -99,9 +99,18 @@ pub fn generate_unconstrained(net: &Netlist, cfg: &FunctionalBistConfig) -> Gene
     };
     let faults = collapse(net, &all_transition_faults(net));
     let mut detected = vec![false; faults.len()];
+    // Lint pre-flight: faults the static analysis proves untestable never
+    // enter the simulator. They stay `false` in the full-length `detected`
+    // flags — exactly what simulating them would yield — so the outcome is
+    // bit-identical with the pre-flight off.
+    let (active_faults, active_idx) =
+        crate::preflight::project_active(net, &faults, cfg.lint_preflight);
     let mut rng = Rng::new(cfg.master_seed);
     let zero = Bits::zeros(net.num_dffs());
-    let mut stats = GenerationStats::default();
+    let mut stats = GenerationStats {
+        faults_skipped_lint: faults.len() - active_faults.len(),
+        ..GenerationStats::default()
+    };
 
     let mut queue = SeedQueue::new();
     let mut evaluator = BatchEvaluator::new(net, &cfg.search);
@@ -120,18 +129,21 @@ pub fn generate_unconstrained(net: &Netlist, cfg: &FunctionalBistConfig) -> Gene
             let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
             let traj = simulate_sequence(net, &zero, &pis);
             let tests = functional_tests(&pis, &traj.states);
-            let mut local = snapshot.to_vec();
+            // Simulate only the lint-surviving faults; report newly detected
+            // ones as indices into the full list.
+            let mut local: Vec<bool> = active_idx.iter().map(|&i| snapshot[i]).collect();
             let newly = engine
                 .simulate(
                     TestSet::Broadside(&tests),
-                    &faults,
+                    &active_faults,
                     &mut local,
                     &FaultSimOptions::new().threads(inner),
                 )
                 .newly_detected;
             let newly = if newly > 0 {
                 (0..local.len())
-                    .filter(|&i| local[i] && !snapshot[i])
+                    .filter(|&j| local[j] && !snapshot[active_idx[j]])
+                    .map(|j| active_idx[j])
                     .collect()
             } else {
                 Vec::new()
@@ -178,13 +190,13 @@ pub fn generate_unconstrained(net: &Netlist, cfg: &FunctionalBistConfig) -> Gene
     // pass make this a pure fault-simulation pass: no TPG re-expansion, no
     // logic re-simulation.
     let tc = Instant::now();
-    let mut final_detected = vec![false; faults.len()];
+    let mut active_final = vec![false; active_faults.len()];
     let mut final_seeds: Vec<u64> = Vec::new();
     let mut tests_applied = 0usize;
     let mut peak_swa = 0.0f64;
     let fsim = evaluator.engine();
     for (seed, tests, peak) in kept.iter().rev() {
-        let newly = fsim.run(tests, &faults, &mut final_detected);
+        let newly = fsim.run(tests, &active_faults, &mut active_final);
         stats.fsim_calls += 1;
         if newly > 0 {
             final_seeds.push(*seed);
@@ -193,6 +205,12 @@ pub fn generate_unconstrained(net: &Netlist, cfg: &FunctionalBistConfig) -> Gene
         }
     }
     final_seeds.reverse();
+    // Scatter the active-space flags back into the full-length list; the
+    // skipped faults remain false.
+    let mut final_detected = vec![false; faults.len()];
+    for (j, &i) in active_idx.iter().enumerate() {
+        final_detected[i] = active_final[j];
+    }
     stats.compact_wall = tc.elapsed();
     stats.total_wall = t0.elapsed();
 
@@ -295,6 +313,57 @@ mod tests {
             assert_eq!(out.detected, reference.detected, "batch {batch}");
             assert_eq!(out.tests_applied, reference.tests_applied);
             assert_eq!(out.peak_swa, reference.peak_swa);
+        }
+    }
+
+    /// An s27-like circuit with seeded dead logic: a structurally constant
+    /// gate and a dangling chain, both on top of healthy sequential logic.
+    fn seeded_dead_logic() -> Netlist {
+        use fbt_netlist::{GateKind, NetlistBuilder};
+        let mut b = NetlistBuilder::new("dead");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate(GateKind::Not, "na", &["a"]).unwrap();
+        b.gate(GateKind::And, "k0", &["a", "na"]).unwrap(); // constant 0
+        b.gate(GateKind::Or, "y", &["k0", "c"]).unwrap();
+        b.gate(GateKind::Not, "dead", &["c"]).unwrap(); // never observed
+        b.gate(GateKind::Xor, "nxt", &["y", "q"]).unwrap();
+        b.dff("q", "nxt").unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn lint_preflight_skips_faults_and_preserves_the_outcome() {
+        let net = seeded_dead_logic();
+        let on = FunctionalBistConfig::smoke();
+        let off = FunctionalBistConfig {
+            lint_preflight: false,
+            ..on.clone()
+        };
+        let a = generate_unconstrained(&net, &on);
+        let b = generate_unconstrained(&net, &off);
+        // Both transition faults on `k0` and on `dead` (at least) are
+        // untestable by construction and never reach the simulator.
+        assert!(
+            a.stats.faults_skipped_lint >= 2,
+            "skipped {}",
+            a.stats.faults_skipped_lint
+        );
+        assert_eq!(b.stats.faults_skipped_lint, 0);
+        // The skip is pure work avoidance: full-length flags, seeds and
+        // counters all agree.
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.tests_applied, b.tests_applied);
+        assert_eq!(a.stats.seeds_tried, b.stats.seeds_tried);
+        // No skipped fault is ever reported detected.
+        let ev = fbt_lint::PreflightEvidence::analyze(&net);
+        for (f, &d) in a.faults.iter().zip(&a.detected) {
+            if ev.transition_untestable(f.line) {
+                assert!(!d);
+            }
         }
     }
 

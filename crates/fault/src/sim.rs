@@ -16,7 +16,7 @@ pub fn coverage_percent(detected: &[bool]) -> f64 {
 
 /// N-detect coverage: the percentage of faults detected by at least `n`
 /// different tests, from a profile produced by
-/// [`FaultSimEngine::n_detect_profile`].
+/// [`crate::FaultSimEngine::n_detect_profile`].
 ///
 /// # Panics
 ///

@@ -1,0 +1,312 @@
+//! Primary-input constraint sets and their SAT-backed lint rules.
+//!
+//! Functional broadside generation restricts primary inputs to the values
+//! the surrounding logic can actually produce. This module parses a small
+//! textual constraint format over PI names and checks it with the CDCL
+//! solver:
+//!
+//! ```text
+//! # fixed assignments and clauses over primary inputs
+//! reset = 0
+//! mode | !enable          # at least one literal must hold
+//! ```
+//!
+//! * `constraint-parse` — a line that is neither `name = 0|1` nor a
+//!   `|`-separated clause of optionally-`!`-negated names;
+//! * `constraint-unknown-pi` — a constraint references a net that is not a
+//!   primary input of the circuit;
+//! * `constraint-unsat` — the conjunction of all constraints is
+//!   unsatisfiable: the constrained generation loop can never launch;
+//! * `constraint-const-pi` — the constraints force a primary input to a
+//!   single value (every test pattern wastes that input).
+
+use std::collections::BTreeMap;
+
+use fbt_netlist::Netlist;
+use fbt_sat::{CnfFormula, SatResult, Solver};
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+
+/// One literal over a primary input: the input name and its polarity
+/// (`false` = negated).
+pub type ConstraintLit = (String, bool);
+
+/// A parsed constraint set: fixed assignments plus CNF clauses, all over
+/// primary-input names.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    /// `name = 0|1` lines, in source order.
+    pub fixed: Vec<(usize, String, bool)>,
+    /// `a | !b | c` clause lines, in source order.
+    pub clauses: Vec<(usize, Vec<ConstraintLit>)>,
+}
+
+impl ConstraintSet {
+    /// Parse the textual format. Unparseable lines become
+    /// `constraint-parse` diagnostics (the rest of the file still loads).
+    pub fn parse(text: &str, subject: &str, report: &mut LintReport) -> ConstraintSet {
+        let mut set = ConstraintSet::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lno = lineno + 1;
+            if let Some(eq) = line.find('=') {
+                let name = line[..eq].trim();
+                let value = line[eq + 1..].trim();
+                let bad_name = name.is_empty() || name.contains(char::is_whitespace);
+                match (bad_name, value) {
+                    (false, "0") => set.fixed.push((lno, name.to_string(), false)),
+                    (false, "1") => set.fixed.push((lno, name.to_string(), true)),
+                    _ => report.push(
+                        Diagnostic::new(
+                            "constraint-parse",
+                            Severity::Error,
+                            format!("{subject}:line {lno}"),
+                            format!("expected `name = 0|1`, got `{line}`"),
+                        )
+                        .with_help("fixed assignments take exactly one input name and 0 or 1"),
+                    ),
+                }
+            } else {
+                let mut lits = Vec::new();
+                let mut ok = true;
+                for tok in line.split('|') {
+                    let tok = tok.trim();
+                    let (name, pol) = match tok.strip_prefix('!') {
+                        Some(rest) => (rest.trim(), false),
+                        None => (tok, true),
+                    };
+                    if name.is_empty() || name.contains(char::is_whitespace) {
+                        ok = false;
+                        break;
+                    }
+                    lits.push((name.to_string(), pol));
+                }
+                if ok && !lits.is_empty() {
+                    set.clauses.push((lno, lits));
+                } else {
+                    report.push(
+                        Diagnostic::new(
+                            "constraint-parse",
+                            Severity::Error,
+                            format!("{subject}:line {lno}"),
+                            format!("expected `a | !b | ...`, got `{line}`"),
+                        )
+                        .with_help("clauses are `|`-separated input names, `!` negates"),
+                    );
+                }
+            }
+        }
+        set
+    }
+
+    /// Whether the set contains no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.fixed.is_empty() && self.clauses.is_empty()
+    }
+
+    /// Every input name mentioned, sorted and deduplicated.
+    pub fn support(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .fixed
+            .iter()
+            .map(|(_, n, _)| n.as_str())
+            .chain(
+                self.clauses
+                    .iter()
+                    .flat_map(|(_, ls)| ls.iter().map(|(n, _)| n.as_str())),
+            )
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+/// Run the SAT-backed constraint rules for `set` against `net`'s primary
+/// inputs.
+pub fn run(net: &Netlist, set: &ConstraintSet, report: &mut LintReport) {
+    let names: Vec<&str> = net.inputs().iter().map(|&id| net.node_name(id)).collect();
+    run_names(net.name(), &names, set, report);
+}
+
+/// Same as [`run`], but over a bare primary-input name list — usable even
+/// when the circuit is too broken to build a `Netlist`.
+pub fn run_names(subject: &str, pi_names: &[&str], set: &ConstraintSet, report: &mut LintReport) {
+    if set.is_empty() {
+        return;
+    }
+
+    // Map PI name -> cube index; report unknown references.
+    let mut pi_index: BTreeMap<&str, usize> = BTreeMap::new();
+    for (k, &name) in pi_names.iter().enumerate() {
+        pi_index.insert(name, k);
+    }
+    let mut known = true;
+    for name in set.support() {
+        if !pi_index.contains_key(name) {
+            known = false;
+            report.push(
+                Diagnostic::new(
+                    "constraint-unknown-pi",
+                    Severity::Error,
+                    format!("{subject}:{name}"),
+                    format!("constraint references `{name}`, which is not a primary input"),
+                )
+                .with_help("constraints may only mention primary inputs of the circuit"),
+            );
+        }
+    }
+    if !known {
+        return; // the formula below would silently drop unknown literals
+    }
+
+    // Encode: one variable per primary input, in input order.
+    let build = |extra: Option<(usize, bool)>| -> Solver {
+        let mut cnf = CnfFormula::new();
+        let vars: Vec<_> = (0..pi_names.len()).map(|_| cnf.new_var()).collect();
+        for (_, name, value) in &set.fixed {
+            cnf.add_clause(&[vars[pi_index[name.as_str()]].lit(*value)]);
+        }
+        for (_, lits) in &set.clauses {
+            let clause: Vec<_> = lits
+                .iter()
+                .map(|(name, pol)| vars[pi_index[name.as_str()]].lit(*pol))
+                .collect();
+            cnf.add_clause(&clause);
+        }
+        if let Some((pi, value)) = extra {
+            cnf.add_clause(&[vars[pi].lit(value)]);
+        }
+        Solver::from_cnf(&cnf)
+    };
+
+    if matches!(build(None).solve(), SatResult::Unsat) {
+        report.push(
+            Diagnostic::new(
+                "constraint-unsat",
+                Severity::Error,
+                subject.to_string(),
+                "the primary-input constraint set is unsatisfiable",
+            )
+            .with_help(
+                "no input vector satisfies the constraints; constrained generation can \
+                 never launch a test",
+            ),
+        );
+        return;
+    }
+
+    // Forced-constant inputs: only inputs in the support can be forced.
+    for name in set.support() {
+        let pi = pi_index[name];
+        for value in [false, true] {
+            if matches!(build(Some((pi, value))).solve(), SatResult::Unsat) {
+                report.push(
+                    Diagnostic::new(
+                        "constraint-const-pi",
+                        Severity::Warning,
+                        format!("{subject}:{name}"),
+                        format!(
+                            "constraints force primary input `{name}` to constant {}",
+                            u8::from(!value)
+                        ),
+                    )
+                    .with_help(
+                        "a forced input carries no test information; transition faults \
+                         on it are untestable under these constraints",
+                    ),
+                );
+                break; // the other polarity is implied satisfiable
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(text: &str) -> ConstraintSet {
+        let mut r = LintReport::new("t");
+        let set = ConstraintSet::parse(text, "t", &mut r);
+        assert!(r.is_empty(), "{:?}", r.diagnostics());
+        set
+    }
+
+    #[test]
+    fn parses_fixed_and_clauses_with_comments() {
+        let set = parse_ok("# header\na = 0\nb=1 # inline\na | !b | c\n");
+        assert_eq!(set.fixed.len(), 2);
+        assert_eq!(set.clauses.len(), 1);
+        assert_eq!(set.clauses[0].1.len(), 3);
+        assert_eq!(set.support(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn bad_lines_are_diagnosed_not_fatal() {
+        let mut r = LintReport::new("t");
+        let set = ConstraintSet::parse("a = 2\nb = 1\n| |\n", "t", &mut r);
+        assert_eq!(set.fixed.len(), 1);
+        assert_eq!(r.count(Severity::Error), 2);
+        assert!(r
+            .diagnostics()
+            .iter()
+            .all(|d| d.rule_id == "constraint-parse"));
+    }
+
+    fn s27_lint(text: &str) -> LintReport {
+        let net = fbt_netlist::s27();
+        let mut r = LintReport::new("s27");
+        let set = ConstraintSet::parse(text, "s27", &mut r);
+        run(&net, &set, &mut r);
+        r
+    }
+
+    #[test]
+    fn unsat_cube_is_an_error() {
+        let mut r = s27_lint("G0 = 0\nG0 = 1\n");
+        assert_eq!(r.diagnostics().len(), 1);
+        assert_eq!(r.diagnostics()[0].rule_id, "constraint-unsat");
+    }
+
+    #[test]
+    fn unsat_via_clauses_is_an_error() {
+        let mut r = s27_lint("G0 | G1\n!G0\n!G1\n");
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.rule_id == "constraint-unsat"));
+    }
+
+    #[test]
+    fn implied_constant_is_a_warning() {
+        // G0 free in the cube but forced through clauses: (G0 | G1) & !G1.
+        let mut r = s27_lint("G0 | G1\n!G1\n");
+        let rules: Vec<_> = r.diagnostics().iter().map(|d| d.rule_id).collect();
+        assert!(rules.contains(&"constraint-const-pi"), "{rules:?}");
+        // G1 is also forced (to 0) — both get reported, no unsat.
+        assert!(!rules.contains(&"constraint-unsat"));
+        let consts = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.rule_id == "constraint-const-pi")
+            .count();
+        assert_eq!(consts, 2);
+    }
+
+    #[test]
+    fn satisfiable_free_constraints_are_clean() {
+        let mut r = s27_lint("G0 | G1\nG2 | !G3\n");
+        assert!(r.is_empty(), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn unknown_pi_reported_and_stops() {
+        let mut r = s27_lint("G99 = 1\n");
+        assert_eq!(r.diagnostics().len(), 1);
+        assert_eq!(r.diagnostics()[0].rule_id, "constraint-unknown-pi");
+    }
+}

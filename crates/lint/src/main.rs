@@ -1,0 +1,245 @@
+//! `fbt-lint` — static design-rule analysis for circuits, constraints and
+//! BIST plans.
+//!
+//! ```text
+//! fbt-lint [OPTIONS] SUBJECT...
+//!
+//! SUBJECT        a .bench file path, or a circuit name from the synthetic
+//!                catalog (s27 resolves to the genuine ISCAS89 benchmark)
+//!
+//! --json         emit one machine-readable JSON report per subject to
+//!                stdout (timing goes to stderr; stdout stays bit-identical
+//!                across runs)
+//! --constraints FILE
+//!                also lint the PI constraint set in FILE against each
+//!                subject (fixed `name = 0|1` lines and `a | !b` clauses)
+//! --deny LEVEL|RULE
+//!                fail (exit 1) on diagnostics at or above LEVEL
+//!                (note|warning|error; default error), or on any finding of
+//!                a specific RULE; repeatable
+//! --allow RULE   silence a rule entirely; repeatable
+//! --scale N      divide catalog circuit sizes by N (synthetic circuits)
+//! --list-rules   print the rule registry and exit
+//! ```
+//!
+//! Exit codes: 0 clean (under the active filter), 1 findings at or above
+//! the deny threshold, 2 usage or I/O error.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use fbt_lint::{lint_bench_text, lint_netlist, ConstraintSet, LintReport, RuleFilter, Severity};
+use fbt_netlist::{synth, Netlist};
+
+struct Options {
+    subjects: Vec<String>,
+    json: bool,
+    constraints: Option<String>,
+    filter: RuleFilter,
+    scale: u64,
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage: fbt-lint [--json] [--constraints FILE] [--deny LEVEL|RULE]... \
+         [--allow RULE]... [--scale N] [--list-rules] SUBJECT..."
+    );
+    std::process::exit(code)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        subjects: Vec::new(),
+        json: false,
+        constraints: None,
+        filter: RuleFilter::default(),
+        scale: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list-rules" => {
+                let stdout = std::io::stdout();
+                let mut out = stdout.lock();
+                for r in fbt_lint::ALL_RULES {
+                    if writeln!(
+                        out,
+                        "{:<22} {:<8} {}",
+                        r.id,
+                        r.severity.keyword(),
+                        r.summary
+                    )
+                    .is_err()
+                    {
+                        // Downstream closed the pipe (e.g. `| head`).
+                        std::process::exit(0);
+                    }
+                }
+                std::process::exit(0);
+            }
+            "--constraints" => {
+                let Some(path) = args.next() else { usage(2) };
+                opts.constraints = Some(path);
+            }
+            "--deny" => {
+                let Some(what) = args.next() else { usage(2) };
+                if let Some(level) = Severity::from_keyword(&what) {
+                    opts.filter.deny_level = level;
+                } else if !opts.filter.deny_rule(&what) {
+                    eprintln!("fbt-lint: unknown rule or level `{what}`");
+                    std::process::exit(2);
+                }
+            }
+            "--allow" => {
+                let Some(rule) = args.next() else { usage(2) };
+                if !opts.filter.allow(&rule) {
+                    eprintln!("fbt-lint: unknown rule `{rule}`");
+                    std::process::exit(2);
+                }
+            }
+            "--scale" => {
+                let Some(n) = args.next() else { usage(2) };
+                match n.parse::<u64>() {
+                    Ok(n) if n >= 1 => opts.scale = n,
+                    _ => usage(2),
+                }
+            }
+            "--help" | "-h" => usage(0),
+            s if s.starts_with('-') => {
+                eprintln!("fbt-lint: unknown option `{s}`");
+                usage(2)
+            }
+            _ => opts.subjects.push(arg),
+        }
+    }
+    if opts.subjects.is_empty() {
+        usage(2);
+    }
+    opts
+}
+
+/// A resolved subject: its report, its name, and its primary-input names
+/// (available even when the circuit is too broken to build a [`Netlist`],
+/// so constraint linting still runs against it).
+struct Resolved {
+    report: LintReport,
+    name: String,
+    pi_names: Vec<String>,
+}
+
+fn resolve_net(net: Netlist) -> Resolved {
+    let pi_names = net
+        .inputs()
+        .iter()
+        .map(|&id| net.node_name(id).to_string())
+        .collect();
+    Resolved {
+        report: lint_netlist(&net),
+        name: net.name().to_string(),
+        pi_names,
+    }
+}
+
+fn lint_subject(subject: &str, scale: u64) -> Result<Resolved, String> {
+    if subject.ends_with(".bench") || subject.contains('/') {
+        let text = std::fs::read_to_string(subject)
+            .map_err(|e| format!("cannot read `{subject}`: {e}"))?;
+        let name = subject
+            .rsplit('/')
+            .next()
+            .unwrap_or(subject)
+            .trim_end_matches(".bench");
+        let report = lint_bench_text(&text, name);
+        let pi_names = match fbt_netlist::bench::parse_raw(&text, name) {
+            Ok(raw) => {
+                let c = fbt_lint::graph::RawCircuit::from_raw_bench(&raw);
+                c.nodes
+                    .iter()
+                    .filter(|n| n.kind == Some(fbt_netlist::GateKind::Input))
+                    .map(|n| n.name.clone())
+                    .collect()
+            }
+            Err(_) => Vec::new(),
+        };
+        return Ok(Resolved {
+            report,
+            name: name.to_string(),
+            pi_names,
+        });
+    }
+    if subject == "s27" {
+        return Ok(resolve_net(fbt_netlist::s27()));
+    }
+    match synth::find(subject) {
+        Some(spec) => {
+            let spec = if scale > 1 {
+                spec.scaled(scale as usize)
+            } else {
+                spec
+            };
+            Ok(resolve_net(synth::generate(&spec)))
+        }
+        None => Err(format!(
+            "`{subject}` is neither a .bench path nor a catalog circuit name"
+        )),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+
+    let constraint_text = opts.constraints.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("fbt-lint: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        })
+    });
+
+    let mut failed = false;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for subject in &opts.subjects {
+        let t0 = Instant::now();
+        let resolved = match lint_subject(subject, opts.scale) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fbt-lint: {e}");
+                std::process::exit(2);
+            }
+        };
+        let Resolved {
+            mut report,
+            name,
+            pi_names,
+        } = resolved;
+        if let Some(text) = constraint_text.as_deref() {
+            let mut creport = LintReport::new(&name);
+            let set = ConstraintSet::parse(text, &name, &mut creport);
+            let refs: Vec<&str> = pi_names.iter().map(String::as_str).collect();
+            fbt_lint::constraints::run_names(&name, &refs, &set, &mut creport);
+            report.extend(creport);
+        }
+        opts.filter.apply(&mut report);
+        if opts.filter.fails(&mut report) {
+            failed = true;
+        }
+        let wrote = if opts.json {
+            writeln!(out, "{}", report.to_json())
+        } else {
+            write!(out, "{}", report.to_pretty())
+        };
+        if wrote.is_err() {
+            // Downstream closed the pipe; report what we know so far.
+            std::process::exit(i32::from(failed));
+        }
+        // Timing to stderr only: stdout must stay bit-identical across runs.
+        eprintln!(
+            "fbt-lint: {} in {} ms ({} finding(s))",
+            subject,
+            t0.elapsed().as_millis(),
+            report.len()
+        );
+    }
+    std::process::exit(i32::from(failed));
+}

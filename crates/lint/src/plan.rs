@@ -1,0 +1,216 @@
+//! BIST test-plan lint rules.
+//!
+//! [`PlanSpec`] is a dependency-neutral snapshot of a built-in generation
+//! plan: the TPG parameters of `fbt-bist` plus the budgets of the Chapter-4
+//! driver. `fbt-core` converts its configuration into this struct before
+//! generation, so `fbt-lint` can validate plans without depending on
+//! `fbt-core` (which sits above this crate in the workspace DAG).
+
+use fbt_bist::TpgSpec;
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+
+/// A dependency-neutral description of a BIST plan to lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSpec {
+    /// LFSR width in bits (the hardware seed register).
+    pub lfsr_width: u32,
+    /// Degree of the AND/OR input-biasing gates (paper §4.3).
+    pub m: usize,
+    /// Width of the primary-input cube `C` (must equal the PI count).
+    pub cube_len: usize,
+    /// Per-seed test sequence length `L` (broadside: must be even).
+    pub seq_len: usize,
+    /// Seed-search budget (0 = the search can never start).
+    pub max_seeds: usize,
+    /// Number of functional warm-up sequences.
+    pub func_sequences: usize,
+    /// Length of each functional warm-up sequence.
+    pub func_len: usize,
+}
+
+impl PlanSpec {
+    /// Snapshot the TPG-derived parameters of a plan; the caller fills in
+    /// the driver budgets.
+    pub fn from_tpg(
+        spec: &TpgSpec,
+        seq_len: usize,
+        max_seeds: usize,
+        func_sequences: usize,
+        func_len: usize,
+    ) -> Self {
+        PlanSpec {
+            lfsr_width: spec.lfsr_width,
+            m: spec.m,
+            cube_len: spec.cube.len(),
+            seq_len,
+            max_seeds,
+            func_sequences,
+            func_len,
+        }
+    }
+}
+
+/// Lint a plan against a circuit with `num_inputs` primary inputs.
+pub fn run(subject: &str, num_inputs: usize, plan: &PlanSpec, report: &mut LintReport) {
+    if plan.cube_len != num_inputs {
+        report.push(
+            Diagnostic::new(
+                "plan-cube-width",
+                Severity::Error,
+                subject.to_string(),
+                format!(
+                    "input cube has {} entries but the circuit has {} primary input(s)",
+                    plan.cube_len, num_inputs
+                ),
+            )
+            .with_help("recompute the cube against this circuit (fbt_bist::cube::input_cube)"),
+        );
+    }
+    if plan.lfsr_width == 0 || plan.lfsr_width > 64 {
+        report.push(
+            Diagnostic::new(
+                "plan-lfsr-width",
+                Severity::Error,
+                subject.to_string(),
+                format!(
+                    "LFSR width {} is outside the supported range 1..=64",
+                    plan.lfsr_width
+                ),
+            )
+            .with_help("fbt_bist::Lfsr::new refuses widths of 0 or more than 64 bits"),
+        );
+    }
+    if plan.seq_len == 0 || !plan.seq_len.is_multiple_of(2) {
+        report.push(
+            Diagnostic::new(
+                "plan-seq-odd",
+                Severity::Error,
+                subject.to_string(),
+                format!(
+                    "per-seed sequence length L = {} must be even and positive",
+                    plan.seq_len
+                ),
+            )
+            .with_help("broadside tests pair frames: every seed contributes L/2 two-frame tests"),
+        );
+    }
+    if plan.max_seeds == 0 || (plan.func_sequences > 0 && plan.func_len == 0) {
+        report.push(
+            Diagnostic::new(
+                "plan-zero-budget",
+                Severity::Error,
+                subject.to_string(),
+                format!(
+                    "plan has a zero budget (max_seeds = {}, func_sequences = {}, func_len = {})",
+                    plan.max_seeds, plan.func_sequences, plan.func_len
+                ),
+            )
+            .with_help("a zero budget makes generation a no-op; raise it or drop the stage"),
+        );
+    }
+    if plan.m < 2 {
+        report.push(
+            Diagnostic::new(
+                "plan-m-degree",
+                Severity::Warning,
+                subject.to_string(),
+                format!("biasing gate degree m = {} gives no bias", plan.m),
+            )
+            .with_help("the paper uses m >= 2; m < 2 degenerates the AND/OR biasing gates"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_bist::cube;
+
+    fn good_plan(inputs: usize) -> PlanSpec {
+        PlanSpec {
+            lfsr_width: 16,
+            m: 3,
+            cube_len: inputs,
+            seq_len: 100,
+            max_seeds: 1000,
+            func_sequences: 2,
+            func_len: 10,
+        }
+    }
+
+    #[test]
+    fn good_plan_is_clean() {
+        let mut r = LintReport::new("p");
+        run("p", 4, &good_plan(4), &mut r);
+        assert!(r.is_empty(), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn each_defect_fires_its_rule() {
+        let cases: Vec<(PlanSpec, &str)> = vec![
+            (
+                PlanSpec {
+                    cube_len: 3,
+                    ..good_plan(4)
+                },
+                "plan-cube-width",
+            ),
+            (
+                PlanSpec {
+                    lfsr_width: 0,
+                    ..good_plan(4)
+                },
+                "plan-lfsr-width",
+            ),
+            (
+                PlanSpec {
+                    lfsr_width: 65,
+                    ..good_plan(4)
+                },
+                "plan-lfsr-width",
+            ),
+            (
+                PlanSpec {
+                    seq_len: 101,
+                    ..good_plan(4)
+                },
+                "plan-seq-odd",
+            ),
+            (
+                PlanSpec {
+                    max_seeds: 0,
+                    ..good_plan(4)
+                },
+                "plan-zero-budget",
+            ),
+            (
+                PlanSpec {
+                    m: 1,
+                    ..good_plan(4)
+                },
+                "plan-m-degree",
+            ),
+        ];
+        for (plan, rule) in cases {
+            let mut r = LintReport::new("p");
+            run("p", 4, &plan, &mut r);
+            assert_eq!(r.diagnostics().len(), 1, "{rule}");
+            assert_eq!(r.diagnostics()[0].rule_id, rule);
+        }
+    }
+
+    #[test]
+    fn from_tpg_snapshot_matches_s27() {
+        let net = fbt_netlist::s27();
+        let spec = TpgSpec {
+            lfsr_width: 16,
+            m: 3,
+            cube: cube::input_cube(&net),
+        };
+        let plan = PlanSpec::from_tpg(&spec, 100, 1000, 2, 10);
+        let mut r = LintReport::new("s27");
+        run("s27", net.num_inputs(), &plan, &mut r);
+        assert!(r.is_empty(), "{:?}", r.diagnostics());
+    }
+}

@@ -1,0 +1,137 @@
+//! Pre-flight fault screening for ATPG and the Chapter-4 driver.
+//!
+//! [`PreflightEvidence`] condenses two sound structural facts into a
+//! per-line oracle that generation pipelines consult before spending any
+//! simulation, branch-and-bound or SAT budget:
+//!
+//! * a **structurally constant** line can never launch a transition, so
+//!   both the slow-to-rise and slow-to-fall transition faults on it are
+//!   untestable;
+//! * a line with **no combinational path to any observable point**
+//!   (primary output or flip-flop D-input) can never propagate a fault
+//!   effect — not in the capture frame, and not in any later frame either,
+//!   since influence on future frames flows only through the flip-flops it
+//!   cannot reach.
+//!
+//! Both facts hold for *every* test, so skipping these faults cannot change
+//! which of the remaining faults are detectable — the projection the
+//! Chapter-4 driver relies on for bit-identical outcomes.
+
+use fbt_netlist::{Netlist, NodeId};
+
+use crate::graph::RawCircuit;
+use crate::structural::{observable_set, propagate_constants};
+
+/// Structural untestability evidence for every line of a circuit.
+#[derive(Debug, Clone)]
+pub struct PreflightEvidence {
+    constant: Vec<Option<bool>>,
+    observable: Vec<bool>,
+}
+
+impl PreflightEvidence {
+    /// Analyze a circuit: one constant-propagation fixpoint plus one
+    /// reverse reachability sweep. Cost is linear-ish in circuit size.
+    pub fn analyze(net: &Netlist) -> Self {
+        let c = RawCircuit::from_netlist(net);
+        PreflightEvidence {
+            constant: propagate_constants(&c),
+            observable: observable_set(&c),
+        }
+    }
+
+    /// The line's structurally constant value, if it has one.
+    pub fn constant(&self, line: NodeId) -> Option<bool> {
+        self.constant[line.index()]
+    }
+
+    /// Whether the line has a combinational path to an observable point.
+    pub fn observable(&self, line: NodeId) -> bool {
+        self.observable[line.index()]
+    }
+
+    /// Whether both transition faults on this line are untestable by
+    /// structural evidence.
+    pub fn transition_untestable(&self, line: NodeId) -> bool {
+        self.constant(line).is_some() || !self.observable(line)
+    }
+
+    /// Number of lines with untestable-by-construction transition faults.
+    pub fn untestable_lines(&self) -> usize {
+        (0..self.constant.len())
+            .filter(|&i| self.transition_untestable(NodeId(i as u32)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbt_netlist::{GateKind, NetlistBuilder};
+
+    /// A circuit with one constant gate (AND of complements) and one
+    /// unobservable chain, alongside healthy logic.
+    fn seeded_net() -> Netlist {
+        let mut b = NetlistBuilder::new("seeded");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate(GateKind::Not, "na", &["a"]).unwrap();
+        b.gate(GateKind::And, "k0", &["a", "na"]).unwrap(); // constant 0
+        b.gate(GateKind::Or, "y", &["k0", "c"]).unwrap();
+        b.gate(GateKind::Not, "dead", &["c"]).unwrap(); // dangles
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn constant_and_unobservable_lines_flagged() {
+        let net = seeded_net();
+        let ev = PreflightEvidence::analyze(&net);
+        let k0 = net.find("k0").unwrap();
+        let dead = net.find("dead").unwrap();
+        let y = net.find("y").unwrap();
+        let a = net.find("a").unwrap();
+        assert_eq!(ev.constant(k0), Some(false));
+        assert!(ev.transition_untestable(k0));
+        assert!(!ev.observable(dead));
+        assert!(ev.transition_untestable(dead));
+        assert!(!ev.transition_untestable(y));
+        assert!(!ev.transition_untestable(a));
+        assert_eq!(ev.untestable_lines(), 2);
+    }
+
+    #[test]
+    fn s27_has_no_untestable_lines() {
+        // The genuine benchmark is clean — the existing ATPG counts
+        // (23 detected / 33 undetectable TPDFs) must not shift.
+        let ev = PreflightEvidence::analyze(&fbt_netlist::s27());
+        assert_eq!(ev.untestable_lines(), 0);
+    }
+
+    /// Cross-check against the SAT engine: every line preflight calls
+    /// untestable is proved untestable by the two-frame encoding.
+    #[test]
+    fn preflight_agrees_with_sat_on_seeded_circuit() {
+        use fbt_fault::{Transition, TransitionFault};
+        use fbt_sat::{solve_transition_fault, DetectionVerdict};
+        let net = seeded_net();
+        let ev = PreflightEvidence::analyze(&net);
+        for id in net.node_ids() {
+            if !ev.transition_untestable(id) {
+                continue;
+            }
+            for tr in [Transition::Rise, Transition::Fall] {
+                let fault = TransitionFault {
+                    line: id,
+                    transition: tr,
+                };
+                let (verdict, _) = solve_transition_fault(&net, &fault, None);
+                assert!(
+                    matches!(verdict, DetectionVerdict::Untestable),
+                    "preflight calls {} untestable but SAT disagrees",
+                    net.node_name(id)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! SCOAP-style testability scoring.
+//!
+//! Classic combinational SCOAP measures, adapted to the scan-based setting:
+//! flip-flops are pseudo-primary-inputs (their state is scan-loaded, so
+//! `CC0 = CC1 = 1`), and both primary-output drivers and flip-flop D-inputs
+//! are observation points (`CO = 0`, the response is scanned out). The
+//! `scoap-hard` rule aggregates nodes whose controllability or
+//! observability exceeds a threshold into a single deterministic note, so
+//! ATPG effort can be steered away from hopeless cones before any budget
+//! is spent.
+
+use fbt_netlist::GateKind;
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+use crate::graph::RawCircuit;
+
+/// Controllability/observability scores for one node. Saturating integer
+/// arithmetic; `u32::MAX` means "unreachable/unobservable".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scoap {
+    /// Effort to set the line to 0 (SCOAP CC0).
+    pub cc0: u32,
+    /// Effort to set the line to 1 (SCOAP CC1).
+    pub cc1: u32,
+    /// Effort to observe the line at an output or scan cell (SCOAP CO).
+    pub co: u32,
+}
+
+/// Score every node, or `None` when the circuit has no combinational
+/// topological order (a cycle — reported separately by `comb-cycle`).
+pub fn scores(c: &RawCircuit) -> Option<Vec<Scoap>> {
+    let n = c.nodes.len();
+    let order = topo_order(c)?;
+
+    let mut cc0 = vec![u32::MAX; n];
+    let mut cc1 = vec![u32::MAX; n];
+    // Sources: PIs and scan-loadable flip-flops cost 1; undriven nets are
+    // unknown sources and also get 1 (their real cost is a separate error).
+    for i in 0..n {
+        if c.is_source(i) {
+            cc0[i] = 1;
+            cc1[i] = 1;
+        }
+    }
+    for &i in &order {
+        let kind = c.nodes[i].kind.expect("ordered nodes are gates");
+        let ins = &c.nodes[i].fanins;
+        let (z, o) = gate_cc(kind, ins, &cc0, &cc1);
+        cc0[i] = z;
+        cc1[i] = o;
+    }
+
+    let mut co = vec![u32::MAX; n];
+    for p in c.observable_points() {
+        co[p] = 0;
+    }
+    // Reverse topological order; sources handled implicitly through their
+    // consumers.
+    for &i in order.iter().rev() {
+        let kind = c.nodes[i].kind.expect("ordered nodes are gates");
+        let ins = &c.nodes[i].fanins;
+        if co[i] == u32::MAX {
+            continue;
+        }
+        for (k, &f) in ins.iter().enumerate() {
+            let side: u32 = match kind {
+                GateKind::And | GateKind::Nand => sum_others(ins, k, &cc1),
+                GateKind::Or | GateKind::Nor => sum_others(ins, k, &cc0),
+                GateKind::Xor | GateKind::Xnor => ins
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != k)
+                    .map(|(_, &f2)| cc0[f2].min(cc1[f2]))
+                    .fold(0u32, u32::saturating_add),
+                GateKind::Not | GateKind::Buf => 0,
+                GateKind::Input | GateKind::Dff => unreachable!(),
+            };
+            let through = co[i].saturating_add(side).saturating_add(1);
+            co[f] = co[f].min(through);
+        }
+    }
+
+    Some(
+        (0..n)
+            .map(|i| Scoap {
+                cc0: cc0[i],
+                cc1: cc1[i],
+                co: co[i],
+            })
+            .collect(),
+    )
+}
+
+fn sum_others(ins: &[usize], skip: usize, cc: &[u32]) -> u32 {
+    ins.iter()
+        .enumerate()
+        .filter(|&(j, _)| j != skip)
+        .map(|(_, &f)| cc[f])
+        .fold(0u32, u32::saturating_add)
+}
+
+fn gate_cc(kind: GateKind, ins: &[usize], cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
+    let sum = |cc: &[u32]| {
+        ins.iter()
+            .map(|&f| cc[f])
+            .fold(0u32, u32::saturating_add)
+            .saturating_add(1)
+    };
+    let min = |cc: &[u32]| {
+        ins.iter()
+            .map(|&f| cc[f])
+            .min()
+            .unwrap_or(u32::MAX)
+            .saturating_add(1)
+    };
+    match kind {
+        GateKind::And => (min(cc0), sum(cc1)),
+        GateKind::Nand => (sum(cc1), min(cc0)),
+        GateKind::Or => (sum(cc0), min(cc1)),
+        GateKind::Nor => (min(cc1), sum(cc0)),
+        GateKind::Not => (cc1[ins[0]].saturating_add(1), cc0[ins[0]].saturating_add(1)),
+        GateKind::Buf => (cc0[ins[0]].saturating_add(1), cc1[ins[0]].saturating_add(1)),
+        GateKind::Xor | GateKind::Xnor => {
+            // Fold pairwise: cost of even/odd parity over the inputs.
+            let mut even = 0u32; // cost of parity 0 so far (empty prefix)
+            let mut odd = u32::MAX; // parity 1 impossible with no inputs
+            for &f in ins {
+                let (e2, o2) = (
+                    (even.saturating_add(cc0[f])).min(odd.saturating_add(cc1[f])),
+                    (even.saturating_add(cc1[f])).min(odd.saturating_add(cc0[f])),
+                );
+                even = e2;
+                odd = o2;
+            }
+            if kind == GateKind::Xor {
+                (even.saturating_add(1), odd.saturating_add(1))
+            } else {
+                (odd.saturating_add(1), even.saturating_add(1))
+            }
+        }
+        GateKind::Input | GateKind::Dff => unreachable!("sources scored separately"),
+    }
+}
+
+/// Kahn topological order over combinational gates; `None` on a cycle.
+fn topo_order(c: &RawCircuit) -> Option<Vec<usize>> {
+    let n = c.nodes.len();
+    let mut pending: Vec<usize> = (0..n)
+        .map(|i| {
+            if c.is_gate(i) {
+                c.nodes[i].fanins.len()
+            } else {
+                0
+            }
+        })
+        .collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| !c.is_gate(i)).collect();
+    let mut order = Vec::new();
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        if c.is_gate(v) {
+            order.push(v);
+        }
+        for &w in &c.fanouts[v] {
+            if !c.is_gate(w) {
+                continue;
+            }
+            pending[w] -= 1;
+            if pending[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    if order.len() == (0..n).filter(|&i| c.is_gate(i)).count() {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Threshold above which a node counts as hard to test.
+const HARD_THRESHOLD: u32 = 100;
+
+/// `scoap-hard`: one aggregate note naming the worst node and counting all
+/// nodes above the effort threshold (unobservable nodes are excluded — the
+/// `unobservable-gate` rule owns those).
+pub fn run(c: &RawCircuit, report: &mut LintReport) {
+    let Some(s) = scores(c) else {
+        return; // cyclic: comb-cycle already reported
+    };
+    let mut worst: Option<(u32, usize)> = None;
+    let mut count = 0usize;
+    for (i, sc) in s.iter().enumerate() {
+        if !c.is_gate(i) || sc.co == u32::MAX {
+            continue;
+        }
+        let effort = sc.cc0.min(sc.cc1).saturating_add(sc.co);
+        if effort >= HARD_THRESHOLD {
+            count += 1;
+            if worst.map(|(w, _)| effort > w).unwrap_or(true) {
+                worst = Some((effort, i));
+            }
+        }
+    }
+    if let Some((effort, i)) = worst {
+        report.push(
+            Diagnostic::new(
+                "scoap-hard",
+                Severity::Note,
+                c.location(i),
+                format!(
+                    "{count} gate(s) exceed SCOAP effort {HARD_THRESHOLD} \
+                     (worst: `{}` at {effort})",
+                    c.nodes[i].name
+                ),
+            )
+            .with_help("hard-to-test cones burn ATPG budget; consider test points"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit(src: &str) -> RawCircuit {
+        let raw = fbt_netlist::bench::parse_raw(src, "t").unwrap();
+        RawCircuit::from_raw_bench(&raw)
+    }
+
+    #[test]
+    fn inverter_swaps_controllabilities() {
+        let c = circuit("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+        let s = scores(&c).unwrap();
+        let y = c.find("y").unwrap();
+        let a = c.find("a").unwrap();
+        assert_eq!(s[a].cc0, 1);
+        assert_eq!(s[y].cc0, 2); // needs a=1
+        assert_eq!(s[y].cc1, 2); // needs a=0
+        assert_eq!(s[y].co, 0); // PO driver
+        assert_eq!(s[a].co, 1); // through the NOT
+    }
+
+    #[test]
+    fn and_sums_ones_and_mins_zeros() {
+        let c = circuit("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+        let s = scores(&c).unwrap();
+        let y = c.find("y").unwrap();
+        assert_eq!(s[y].cc1, 3); // 1 + 1 + 1
+        assert_eq!(s[y].cc0, 2); // min(1, 1) + 1
+                                 // Observing a requires b = 1: CO = 0 + CC1(b) + 1 = 2.
+        assert_eq!(s[c.find("a").unwrap()].co, 2);
+    }
+
+    #[test]
+    fn xor_parity_controllability() {
+        let c = circuit("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n");
+        let s = scores(&c).unwrap();
+        let y = c.find("y").unwrap();
+        // Either both 0 or both 1 → min(1+1, 1+1) + 1 = 3; same for odd.
+        assert_eq!(s[y].cc0, 3);
+        assert_eq!(s[y].cc1, 3);
+    }
+
+    #[test]
+    fn dff_is_pseudo_input_and_pseudo_output() {
+        let c = circuit("INPUT(a)\nq = DFF(d)\nd = AND(a, q)\nOUTPUT(q)\n");
+        let s = scores(&c).unwrap();
+        let q = c.find("q").unwrap();
+        let d = c.find("d").unwrap();
+        assert_eq!(s[q].cc0, 1); // scan-loadable
+        assert_eq!(s[d].co, 0); // D-driver is an observation point
+    }
+
+    #[test]
+    fn cyclic_circuit_scores_none() {
+        let c = circuit("INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n");
+        assert!(scores(&c).is_none());
+        let mut r = LintReport::new("t");
+        run(&c, &mut r); // must not panic or report
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deep_and_chain_triggers_hard_note() {
+        // Each AND level adds its sibling's CC1 to the observation cost of
+        // the chain head, so a long chain crosses the threshold.
+        let mut src = String::from("INPUT(a)\nINPUT(b)\n");
+        let mut prev = "a".to_string();
+        for i in 0..120 {
+            src.push_str(&format!("n{i} = AND({prev}, b)\n"));
+            prev = format!("n{i}");
+        }
+        src.push_str(&format!("OUTPUT({prev})\n"));
+        let c = circuit(&src);
+        let mut r = LintReport::new("t");
+        run(&c, &mut r);
+        assert_eq!(r.diagnostics().len(), 1);
+        assert_eq!(r.diagnostics()[0].rule_id, "scoap-hard");
+    }
+}

@@ -15,6 +15,146 @@ use std::fmt::Write as _;
 
 use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
 
+/// One syntactically valid `.bench` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchStmt {
+    /// `INPUT(name)` — a primary input declaration.
+    Input(String),
+    /// `OUTPUT(name)` — a primary output declaration.
+    Output(String),
+    /// `name = KIND(arg, ...)` — a gate or flip-flop definition.
+    Def {
+        /// The defined signal name (the left-hand side).
+        name: String,
+        /// The gate kind (never [`GateKind::Input`]).
+        kind: GateKind,
+        /// The fanin signal names, in source order.
+        args: Vec<String>,
+    },
+}
+
+impl BenchStmt {
+    /// The signal name this statement declares or defines, if any
+    /// (`OUTPUT` only *references* a signal).
+    pub fn defined_name(&self) -> Option<&str> {
+        match self {
+            BenchStmt::Input(n) => Some(n),
+            BenchStmt::Output(_) => None,
+            BenchStmt::Def { name, .. } => Some(name),
+        }
+    }
+}
+
+/// A syntax-level parse of a `.bench` document: the statement stream with
+/// 1-based line numbers, **without** structural validation.
+///
+/// This is the representation static analysis works on: a raw document may
+/// contain combinational cycles, undriven nets or duplicate definitions that
+/// [`NetlistBuilder::finish`] would reject, and `fbt-lint` needs to see all
+/// of them rather than stopping at the first.
+#[derive(Debug, Clone)]
+pub struct RawBench {
+    /// The circuit name (supplied by the caller, not the document).
+    pub name: String,
+    /// Parsed statements with their 1-based source line numbers.
+    pub stmts: Vec<(usize, BenchStmt)>,
+}
+
+impl RawBench {
+    /// Feed the statements into a [`NetlistBuilder`], stopping at the first
+    /// structural error (duplicate definition, input shadowing, bad arity).
+    pub fn to_builder(&self) -> Result<NetlistBuilder, NetlistError> {
+        let mut b = NetlistBuilder::new(&self.name);
+        for (_, stmt) in &self.stmts {
+            match stmt {
+                BenchStmt::Input(n) => {
+                    b.input(n)?;
+                }
+                BenchStmt::Output(n) => b.output(n)?,
+                BenchStmt::Def { name, kind, args } => match kind {
+                    GateKind::Dff => {
+                        b.dff(name, &args[0])?;
+                    }
+                    k => {
+                        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+                        b.gate(*k, name, &refs)?;
+                    }
+                },
+            }
+        }
+        Ok(b)
+    }
+}
+
+/// Parse a `.bench` document to the statement level only.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines and
+/// [`NetlistError::UnknownGateKind`] for unrecognised keywords. Structural
+/// problems (duplicates, cycles, undriven nets) are *not* errors at this
+/// level.
+pub fn parse_raw(text: &str, name: &str) -> Result<RawBench, NetlistError> {
+    let mut stmts = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let line_err = |message: String| NetlistError::Parse {
+            line: lineno + 1,
+            message,
+        };
+        if let Some(rest) = strip_call(line, "INPUT") {
+            stmts.push((lineno + 1, BenchStmt::Input(rest.to_string())));
+        } else if let Some(rest) = strip_call(line, "OUTPUT") {
+            stmts.push((lineno + 1, BenchStmt::Output(rest.to_string())));
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| line_err(format!("expected `KIND(...)`, got `{rhs}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(line_err(format!("missing `)` in `{rhs}`")));
+            }
+            let kind: GateKind = rhs[..open].trim().parse()?;
+            let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            match kind {
+                GateKind::Dff if args.len() != 1 => {
+                    return Err(line_err(format!(
+                        "DFF takes one argument, got {}",
+                        args.len()
+                    )));
+                }
+                GateKind::Input => {
+                    return Err(line_err("INPUT cannot appear on an assignment".to_string()))
+                }
+                _ => {}
+            }
+            stmts.push((
+                lineno + 1,
+                BenchStmt::Def {
+                    name: target.to_string(),
+                    kind,
+                    args,
+                },
+            ));
+        } else {
+            return Err(line_err(format!("unrecognised line `{line}`")));
+        }
+    }
+    Ok(RawBench {
+        name: name.to_string(),
+        stmts,
+    })
+}
+
 /// Parse a `.bench` document into a [`Netlist`] named `name`.
 ///
 /// # Errors
@@ -30,57 +170,7 @@ use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
 /// assert_eq!(net.num_gates(), 1);
 /// ```
 pub fn parse(text: &str, name: &str) -> Result<Netlist, NetlistError> {
-    let mut b = NetlistBuilder::new(name);
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let line_err = |message: String| NetlistError::Parse {
-            line: lineno + 1,
-            message,
-        };
-        if let Some(rest) = strip_call(line, "INPUT") {
-            b.input(rest)?;
-        } else if let Some(rest) = strip_call(line, "OUTPUT") {
-            b.output(rest)?;
-        } else if let Some(eq) = line.find('=') {
-            let target = line[..eq].trim();
-            let rhs = line[eq + 1..].trim();
-            let open = rhs
-                .find('(')
-                .ok_or_else(|| line_err(format!("expected `KIND(...)`, got `{rhs}`")))?;
-            if !rhs.ends_with(')') {
-                return Err(line_err(format!("missing `)` in `{rhs}`")));
-            }
-            let kind: GateKind = rhs[..open].trim().parse()?;
-            let args: Vec<&str> = rhs[open + 1..rhs.len() - 1]
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .collect();
-            match kind {
-                GateKind::Dff => {
-                    if args.len() != 1 {
-                        return Err(line_err(format!(
-                            "DFF takes one argument, got {}",
-                            args.len()
-                        )));
-                    }
-                    b.dff(target, args[0])?;
-                }
-                GateKind::Input => {
-                    return Err(line_err("INPUT cannot appear on an assignment".to_string()))
-                }
-                k => {
-                    b.gate(k, target, &args)?;
-                }
-            }
-        } else {
-            return Err(line_err(format!("unrecognised line `{line}`")));
-        }
-    }
-    b.finish()
+    parse_raw(text, name)?.to_builder()?.finish()
 }
 
 fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {

@@ -58,7 +58,15 @@ impl NetlistBuilder {
         kind: GateKind,
         fanins: Vec<String>,
     ) -> Result<NodeId, NetlistError> {
-        if self.by_name.contains_key(name) {
+        if let Some(&prev) = self.by_name.get(name) {
+            // A gate/DFF output colliding with a primary input (in either
+            // order) is silent shadowing, distinguished from a plain
+            // same-kind redefinition.
+            let prev_is_input = self.defs[prev].kind == GateKind::Input;
+            let new_is_input = kind == GateKind::Input;
+            if prev_is_input != new_is_input {
+                return Err(NetlistError::ShadowedInput(name.to_string()));
+            }
             return Err(NetlistError::DuplicateName(name.to_string()));
         }
         let idx = self.defs.len();
@@ -75,7 +83,9 @@ impl NetlistBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::DuplicateName`] if the name is already defined.
+    /// Returns [`NetlistError::DuplicateName`] if the name is already a
+    /// primary input, or [`NetlistError::ShadowedInput`] if it is already a
+    /// gate or flip-flop output.
     pub fn input(&mut self, name: &str) -> Result<NodeId, NetlistError> {
         self.define(name, GateKind::Input, Vec::new())
     }
@@ -85,7 +95,8 @@ impl NetlistBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::DuplicateName`] if `q` is already defined.
+    /// Returns [`NetlistError::ShadowedInput`] if `q` is already a primary
+    /// input, or [`NetlistError::DuplicateName`] for any other redefinition.
     pub fn dff(&mut self, q: &str, d: &str) -> Result<NodeId, NetlistError> {
         self.define(q, GateKind::Dff, vec![d.to_string()])
     }
@@ -94,7 +105,8 @@ impl NetlistBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::DuplicateName`] for a redefinition, or
+    /// Returns [`NetlistError::ShadowedInput`] if `name` is already a primary
+    /// input, [`NetlistError::DuplicateName`] for any other redefinition, or
     /// [`NetlistError::BadFaninCount`] when the arity is invalid for `kind`
     /// (single-input kinds take exactly one fanin, all others at least one).
     pub fn gate(
@@ -275,6 +287,47 @@ mod tests {
         assert_eq!(
             b.input("a"),
             Err(NetlistError::DuplicateName("a".to_string()))
+        );
+    }
+
+    #[test]
+    fn gate_shadowing_input_rejected() {
+        // Gate output colliding with an existing primary input.
+        let mut b = NetlistBuilder::new("shadow1");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        assert_eq!(
+            b.gate(GateKind::And, "a", &["a", "b"]),
+            Err(NetlistError::ShadowedInput("a".to_string()))
+        );
+    }
+
+    #[test]
+    fn input_shadowing_gate_rejected() {
+        // Reverse order: input declared after a gate of the same name.
+        let mut b = NetlistBuilder::new("shadow2");
+        b.input("x").unwrap();
+        b.gate(GateKind::Not, "y", &["x"]).unwrap();
+        assert_eq!(
+            b.input("y"),
+            Err(NetlistError::ShadowedInput("y".to_string()))
+        );
+    }
+
+    #[test]
+    fn dff_shadowing_input_rejected() {
+        let mut b = NetlistBuilder::new("shadow3");
+        b.input("a").unwrap();
+        assert_eq!(
+            b.dff("a", "a"),
+            Err(NetlistError::ShadowedInput("a".to_string()))
+        );
+        // And the reverse order.
+        let mut b = NetlistBuilder::new("shadow4");
+        b.dff("q", "d").unwrap();
+        assert_eq!(
+            b.input("q"),
+            Err(NetlistError::ShadowedInput("q".to_string()))
         );
     }
 

@@ -10,6 +10,10 @@ use std::fmt;
 pub enum NetlistError {
     /// A signal name was defined more than once.
     DuplicateName(String),
+    /// A gate or flip-flop output collides with a primary input of the same
+    /// name (in either definition order) — the gate would silently shadow
+    /// the input.
+    ShadowedInput(String),
     /// A referenced signal name was never defined.
     UndefinedName(String),
     /// A gate keyword was not recognised.
@@ -38,6 +42,12 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::DuplicateName(n) => write!(f, "signal `{n}` defined more than once"),
+            NetlistError::ShadowedInput(n) => {
+                write!(
+                    f,
+                    "gate output `{n}` shadows a primary input of the same name"
+                )
+            }
             NetlistError::UndefinedName(n) => {
                 write!(f, "signal `{n}` referenced but never defined")
             }
@@ -129,6 +139,7 @@ mod tests {
     fn display_is_nonempty_and_lowercase_start() {
         let errs = [
             NetlistError::DuplicateName("x".into()),
+            NetlistError::ShadowedInput("i".into()),
             NetlistError::UndefinedName("y".into()),
             NetlistError::UnknownGateKind("Z".into()),
             NetlistError::BadFaninCount {

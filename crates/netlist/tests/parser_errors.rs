@@ -1,0 +1,185 @@
+//! Parser and builder error-path coverage: every failure mode of the
+//! `.bench` front end is asserted against its *specific*
+//! [`NetlistError`] variant, not merely `is_err()`.
+//!
+//! (The Verilog back end is write-only — there is no Verilog parser — so
+//! the `.bench` parser is the only textual entry point to cover.)
+
+use fbt_netlist::bench::{parse, parse_raw, BenchStmt};
+use fbt_netlist::NetlistError;
+
+#[test]
+fn malformed_gate_line_missing_paren() {
+    match parse("INPUT(a)\ny = AND(a, a\n", "bad") {
+        Err(NetlistError::Parse { line, message }) => {
+            assert_eq!(line, 2);
+            assert!(message.contains(")"), "message was: {message}");
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_gate_line_no_call_syntax() {
+    match parse("INPUT(a)\ny = a\n", "bad") {
+        Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unrecognised_line_reports_its_number() {
+    match parse("INPUT(a)\n\n# fine\nthis is not bench\n", "bad") {
+        Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 4),
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn input_on_assignment_rejected() {
+    match parse("a = INPUT(b)\n", "bad") {
+        Err(NetlistError::Parse { line, message }) => {
+            assert_eq!(line, 1);
+            assert!(message.contains("INPUT"), "message was: {message}");
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_gate_kind_names_the_keyword() {
+    match parse("INPUT(a)\ny = FROB(a)\n", "bad") {
+        Err(NetlistError::UnknownGateKind(k)) => assert_eq!(k, "FROB"),
+        other => panic!("expected UnknownGateKind, got {other:?}"),
+    }
+}
+
+#[test]
+fn undeclared_net_names_the_net() {
+    match parse("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n", "bad") {
+        Err(NetlistError::UndefinedName(n)) => assert_eq!(n, "ghost"),
+        other => panic!("expected UndefinedName, got {other:?}"),
+    }
+}
+
+#[test]
+fn undeclared_output_names_the_net() {
+    match parse("INPUT(a)\nOUTPUT(phantom)\ny = NOT(a)\n", "bad") {
+        Err(NetlistError::UndefinedName(n)) => assert_eq!(n, "phantom"),
+        other => panic!("expected UndefinedName, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_gate_definition_names_the_net() {
+    match parse("INPUT(a)\ny = NOT(a)\ny = BUFF(a)\n", "bad") {
+        Err(NetlistError::DuplicateName(n)) => assert_eq!(n, "y"),
+        other => panic!("expected DuplicateName, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_input_declaration_names_the_net() {
+    match parse("INPUT(a)\nINPUT(a)\ny = NOT(a)\n", "bad") {
+        Err(NetlistError::DuplicateName(n)) => assert_eq!(n, "a"),
+        other => panic!("expected DuplicateName, got {other:?}"),
+    }
+}
+
+#[test]
+fn gate_shadowing_input_is_shadowed_input() {
+    match parse("INPUT(a)\nINPUT(b)\na = AND(a, b)\n", "bad") {
+        Err(NetlistError::ShadowedInput(n)) => assert_eq!(n, "a"),
+        other => panic!("expected ShadowedInput, got {other:?}"),
+    }
+}
+
+#[test]
+fn input_shadowing_gate_is_shadowed_input() {
+    match parse("INPUT(a)\ny = NOT(a)\nINPUT(y)\n", "bad") {
+        Err(NetlistError::ShadowedInput(n)) => assert_eq!(n, "y"),
+        other => panic!("expected ShadowedInput, got {other:?}"),
+    }
+}
+
+#[test]
+fn dff_shadowing_input_is_shadowed_input() {
+    match parse("INPUT(q)\nq = DFF(q)\n", "bad") {
+        Err(NetlistError::ShadowedInput(n)) => assert_eq!(n, "q"),
+        other => panic!("expected ShadowedInput, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_fanin_count_names_gate_and_count() {
+    match parse("INPUT(a)\ny = NOT(a, a)\n", "bad") {
+        Err(NetlistError::BadFaninCount { name, got }) => {
+            assert_eq!(name, "y");
+            assert_eq!(got, 2);
+        }
+        other => panic!("expected BadFaninCount, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_fanin_list_is_bad_fanin_count() {
+    match parse("INPUT(a)\ny = AND()\n", "bad") {
+        Err(NetlistError::BadFaninCount { name, got }) => {
+            assert_eq!(name, "y");
+            assert_eq!(got, 0);
+        }
+        other => panic!("expected BadFaninCount, got {other:?}"),
+    }
+}
+
+#[test]
+fn dff_arity_is_a_parse_error() {
+    match parse("INPUT(a)\nq = DFF(a, a)\n", "bad") {
+        Err(NetlistError::Parse { line, message }) => {
+            assert_eq!(line, 2);
+            assert!(message.contains("DFF"), "message was: {message}");
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn combinational_cycle_detected() {
+    let src = "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n";
+    assert!(matches!(
+        parse(src, "bad"),
+        Err(NetlistError::CombinationalCycle(_))
+    ));
+}
+
+#[test]
+fn no_sources_rejected() {
+    assert_eq!(parse("", "empty").unwrap_err(), NetlistError::NoSources);
+}
+
+#[test]
+fn raw_parse_tolerates_structural_problems() {
+    // Cycle + duplicate + undefined net: the raw layer parses the whole
+    // document, while the structural layer rejects it.
+    let src = "INPUT(a)\nx = AND(a, y)\ny = AND(a, x)\nx = NOT(ghost)\n";
+    let raw = parse_raw(src, "rough").expect("raw parse succeeds");
+    assert_eq!(raw.stmts.len(), 4);
+    assert_eq!(raw.stmts[0], (1, BenchStmt::Input("a".to_string())));
+    assert!(matches!(
+        raw.stmts[3],
+        (4, BenchStmt::Def { ref name, .. }) if name == "x"
+    ));
+    assert!(parse(src, "rough").is_err());
+}
+
+#[test]
+fn raw_parse_still_rejects_syntax_errors() {
+    assert!(matches!(
+        parse_raw("y = AND(a\n", "bad"),
+        Err(NetlistError::Parse { line: 1, .. })
+    ));
+    assert!(matches!(
+        parse_raw("y = FROB(a)\n", "bad"),
+        Err(NetlistError::UnknownGateKind(_))
+    ));
+}

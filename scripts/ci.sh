@@ -34,6 +34,38 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
+echo "== fbt-lint golden reports =="
+# Every bundled benchmark's JSON report must be bit-identical to the
+# checked-in golden file, and well-formed JSON.
+cargo build --release -q -p fbt-lint
+lint_bin=target/release/fbt-lint
+lint_out=$(mktemp)
+for gold in crates/lint/tests/golden/s*.json; do
+    name=$(basename "${gold}" .json)
+    "${lint_bin}" --json "${name}" 2>/dev/null > "${lint_out}"
+    python3 -m json.tool "${lint_out}" > /dev/null
+    diff -u "${gold}" "${lint_out}"
+done
+# The seeded defective circuit (comb cycle + undriven net + shadowed PI +
+# unsatisfiable constraint cube) must exit non-zero under the default
+# --deny error filter, with the exact golden report...
+if "${lint_bin}" --json \
+    --constraints crates/lint/tests/fixtures/bad_circuit.constraints \
+    crates/lint/tests/fixtures/bad_circuit.bench 2>/dev/null > "${lint_out}"; then
+    echo "error: fbt-lint exited 0 on the seeded bad circuit" >&2
+    exit 1
+fi
+python3 -m json.tool "${lint_out}" > /dev/null
+diff -u crates/lint/tests/golden/bad_circuit.json "${lint_out}"
+rm -f "${lint_out}"
+# ...and every bundled benchmark must pass it (warnings/notes allowed).
+"${lint_bin}" --deny error \
+    s27 s298 s344 s349 s382 s386 s444 s510 s526 s641 s713 \
+    s820 s832 s953 s1196 s1238 s1488 s1494 > /dev/null 2>&1
+
 echo "== bench_ch4 smoke (speculative search stats + JSON) =="
 # One small constrained generation with stats printing; the run itself
 # asserts serial and speculative modes reach identical coverage.

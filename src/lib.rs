@@ -20,6 +20,8 @@
 //! * [`bist`] — LFSR/MISR/TPG hardware models, state holding, area model
 //! * [`sat`] — CDCL SAT solver and time-frame-expansion CNF encoding, for
 //!   untestability proofs and reachability certification
+//! * [`lint`] — static design-rule analysis over netlists, PI-constraint
+//!   sets and BIST plans, plus the generators' fault pre-flight
 //! * [`core`] — functional broadside BIST generation (the paper's method)
 //!
 //! # Quickstart
@@ -38,6 +40,7 @@ pub use fbt_atpg as atpg;
 pub use fbt_bist as bist;
 pub use fbt_core as core;
 pub use fbt_fault as fault;
+pub use fbt_lint as lint;
 pub use fbt_netlist as netlist;
 pub use fbt_sat as sat;
 pub use fbt_sim as sim;
