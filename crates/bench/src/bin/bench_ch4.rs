@@ -2,7 +2,13 @@
 //! serial loop (`batch = 1, threads = 1`) against deterministic speculative
 //! batching (`batch = 8`, one worker per core). Both modes produce
 //! bit-identical outcomes (asserted here); the benchmark measures the
-//! wall-clock and wasted-evaluation trade.
+//! wall-clock and wasted-evaluation trade. Both methods run through the
+//! unified policy-driven `GenerationEngine` (the `engine` field of the JSON
+//! summary records this).
+//!
+//! Usage: `bench_ch4 [scale] [circuit]` — the optional second argument (or
+//! `BENCH_CH4_CIRCUIT`) restricts the run to one catalog circuit, e.g.
+//! `bench_ch4 smoke spi`.
 //!
 //! Prints the per-run [`GenerationStats`] and writes a machine-readable
 //! summary to `BENCH_ch4.json` (override the path with `BENCH_CH4_OUT`).
@@ -15,6 +21,10 @@ use fbt_core::{
     generate_constrained, generate_unconstrained, FunctionalBistConfig, GenerationStats,
     SearchOptions,
 };
+
+/// Identifies the generation-loop implementation the numbers were measured
+/// on, so stored benchmark JSON stays comparable across refactors.
+const ENGINE: &str = "unified";
 
 struct Entry {
     circuit: String,
@@ -51,13 +61,27 @@ fn modes() -> [(&'static str, SearchOptions); 2] {
 
 fn main() {
     let scale = Scale::from_env();
+    let filter = std::env::args()
+        .nth(2)
+        .or_else(|| std::env::var("BENCH_CH4_CIRCUIT").ok());
     let base = scale.bist_config();
     let mut entries: Vec<Entry> = Vec::new();
     let mut t = Table::new(&[
         "Circuit", "Method", "Mode", "FC %", "Evals", "Wasted", "Waste %", "Wall",
     ]);
 
-    for (target_name, _) in ch4::pairs(scale) {
+    let selected: Vec<&'static str> = ch4::pairs(scale)
+        .into_iter()
+        .map(|(target_name, _)| target_name)
+        .filter(|name| filter.as_deref().is_none_or(|f| f == *name))
+        .collect();
+    assert!(
+        !selected.is_empty(),
+        "circuit filter {:?} matches nothing at scale {scale:?}",
+        filter.as_deref().unwrap_or("")
+    );
+
+    for target_name in selected {
         let target = fbt_bench::circuit(scale, target_name);
         let bound = swafunc(&target, &fbt_core::DrivingBlock::Buffers, &base);
 
@@ -72,11 +96,11 @@ fn main() {
                 let (fc, mut stats) = match method {
                     "unconstrained" => {
                         let out = generate_unconstrained(&target, &cfg);
-                        (out.fault_coverage(), out.stats)
+                        (out.fault_coverage(), out.stats.clone())
                     }
                     _ => {
                         let out = generate_constrained(&target, bound, &cfg);
-                        (out.fault_coverage(), out.stats)
+                        (out.fault_coverage(), out.stats.clone())
                     }
                 };
                 stats.total_wall = t0.elapsed();
@@ -116,7 +140,7 @@ fn main() {
 
     let body: Vec<String> = entries.iter().map(Entry::to_json).collect();
     let json = format!(
-        "{{\"scale\":\"{scale:?}\",\"host_threads\":{},\"entries\":[{}]}}\n",
+        "{{\"scale\":\"{scale:?}\",\"engine\":\"{ENGINE}\",\"host_threads\":{},\"entries\":[{}]}}\n",
         SearchOptions::default().resolved_threads(),
         body.join(",")
     );

@@ -11,96 +11,24 @@
 //! is gated) while the new seed is loaded, so the next segment continues from
 //! the final state of the previous one and the whole trajectory remains
 //! reachable.
+//!
+//! This is the [`GenerationEngine`] with a bounded
+//! [`crate::policy::AdmissibilityPolicy`] ([`SwaRule`] here, or the §5.1
+//! [`StpLibrary`]) in multi-sequence mode with state chaining.
 
 use std::time::Instant;
 
-use fbt_bist::{cube, Tpg, TpgSpec};
-use fbt_fault::{all_transition_faults, collapse, TransitionFault};
-use fbt_fault::{BroadsideTest, FaultSimEngine, FaultSimOptions, TestSet};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
-use fbt_sim::seq::simulate_sequence;
 use fbt_sim::Bits;
 
-use crate::extract::functional_tests;
-use crate::search::{BatchEvaluator, SeedQueue};
-use crate::stats::GenerationStats;
+use crate::engine::{self, ConstructOptions, GenerationEngine, StateOverlay, TpgSeedSource};
+use crate::outcome::{deref_summary, OutcomeSummary};
+use crate::policy::{AdmissibilityPolicy, SwaRule};
 use crate::stp::StpLibrary;
 use crate::{DeviationMetric, FunctionalBistConfig};
 
-/// One primary-input segment: an LFSR seed and the (even) number of cycles
-/// applied from it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Segment {
-    /// The LFSR seed loaded for this segment.
-    pub seed: u64,
-    /// Number of clock cycles applied (always even, so the segment ends at
-    /// the final state of its last test).
-    pub len: usize,
-}
-
-/// A multi-segment primary-input sequence `Pmulti = Pseg(0) … Pseg(Nseg-1)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MultiSegmentSequence {
-    /// The reachable state the circuit is initialized into before this
-    /// sequence (the all-0 state in the paper's experiments; §4.4 notes
-    /// several reachable states can be used when scan-in storage allows).
-    pub initial_state: Bits,
-    /// The segments, in application order.
-    pub segments: Vec<Segment>,
-}
-
-impl MultiSegmentSequence {
-    /// An empty sequence starting from `initial_state`.
-    pub fn new(initial_state: Bits) -> Self {
-        MultiSegmentSequence {
-            initial_state,
-            segments: Vec::new(),
-        }
-    }
-}
-
-impl MultiSegmentSequence {
-    /// Number of segments.
-    pub fn num_segments(&self) -> usize {
-        self.segments.len()
-    }
-
-    /// Total applied cycles.
-    pub fn total_len(&self) -> usize {
-        self.segments.iter().map(|s| s.len).sum()
-    }
-}
-
-/// The decision rule that truncates a candidate segment (pluggable so the
-/// §5.1 signal-transition-pattern metric can replace plain switching
-/// activity).
-pub(crate) trait SegmentRule {
-    /// The longest even prefix of `pis`, applied from `start`, whose every
-    /// measurable clock cycle is admissible.
-    fn admissible_prefix(&self, net: &Netlist, start: &Bits, pis: &[Bits]) -> usize;
-}
-
-/// Switching-activity bound (the paper's rule).
-pub(crate) struct SwaRule {
-    pub bound: f64,
-}
-
-impl SegmentRule for SwaRule {
-    fn admissible_prefix(&self, net: &Netlist, start: &Bits, pis: &[Bits]) -> usize {
-        let traj = simulate_sequence(net, start, pis);
-        match traj
-            .swa
-            .iter()
-            .position(|s| s.is_some_and(|v| v > self.bound + 1e-12))
-        {
-            // Violation at cycle v (paper's j+1): usable prefix is
-            // p(0) … p(j-1), i.e. v-1 cycles, rounded down to even.
-            Some(v) => (v.saturating_sub(1)) & !1usize,
-            None => pis.len() & !1usize,
-        }
-    }
-}
+pub use crate::outcome::{MultiSegmentSequence, Segment};
 
 /// Result of a constrained generation run.
 #[derive(Debug, Clone)]
@@ -109,30 +37,15 @@ pub struct ConstrainedOutcome {
     pub sequences: Vec<MultiSegmentSequence>,
     /// The switching-activity bound used (`SWAfunc`).
     pub swafunc: f64,
-    /// The collapsed transition fault list.
-    pub faults: Vec<TransitionFault>,
-    /// Detection flag per fault.
-    pub detected: Vec<bool>,
-    /// Total number of tests applied on-chip.
-    pub tests_applied: usize,
-    /// Peak switching activity during test application (≤ `swafunc` by
-    /// construction when the SWA metric is used).
-    pub peak_swa: f64,
-    /// Instrumentation counters and wall times for this run.
-    pub stats: GenerationStats,
+    /// The shared outcome facts (fault list, detection flags, test count,
+    /// peak activity ≤ `swafunc` under the SWA metric, stats). Field access
+    /// forwards via `Deref`.
+    pub summary: OutcomeSummary,
 }
 
+deref_summary!(ConstrainedOutcome);
+
 impl ConstrainedOutcome {
-    /// Transition fault coverage in percent.
-    pub fn fault_coverage(&self) -> f64 {
-        fbt_fault::sim::coverage_percent(&self.detected)
-    }
-
-    /// Number of detected faults.
-    pub fn num_detected(&self) -> usize {
-        self.detected.iter().filter(|&&d| d).count()
-    }
-
     /// `Nmulti`: number of multi-segment sequences.
     pub fn nmulti(&self) -> usize {
         self.sequences.len()
@@ -259,200 +172,67 @@ pub fn generate_constrained_with_library(
     run(net, swafunc, cfg, library, std::slice::from_ref(&zero))
 }
 
-/// One speculative segment-candidate evaluation (see [`crate::search`]):
-/// everything the commit step needs, computed against snapshots of the
-/// detection flags and the sequence's current state.
-struct SegmentCandidate {
-    /// Admissible prefix length (`< 2` = inadmissible).
-    len: usize,
-    /// The extracted functional broadside tests of the prefix.
-    tests: Vec<BroadsideTest>,
-    /// Faults newly detected relative to the snapshot (empty = reject).
-    newly: Vec<usize>,
-    /// Peak activity over the prefix trajectory.
-    peak_swa: f64,
-    /// The state reached at the end of the prefix.
-    next_state: Option<Bits>,
-    /// Logic-simulated cycles this evaluation cost.
-    cycles: usize,
-}
-
-fn run(
+fn run<P: AdmissibilityPolicy + ?Sized>(
     net: &Netlist,
     swafunc: f64,
     cfg: &FunctionalBistConfig,
-    rule: &(dyn SegmentRule + Sync),
+    policy: &P,
     initial_states: &[Bits],
 ) -> ConstrainedOutcome {
-    cfg.validate();
     let t0 = Instant::now();
-    let spec = TpgSpec {
-        lfsr_width: cfg.lfsr_width,
-        m: cfg.m,
-        cube: cube::input_cube(net),
-    };
-    let faults = collapse(net, &all_transition_faults(net));
-    let mut detected = vec![false; faults.len()];
-    // Lint pre-flight: statically untestable faults never enter the
-    // simulator; they stay `false` in the full-length flags, so the outcome
-    // is bit-identical with the pre-flight off (see [`crate::preflight`]).
-    let (active_faults, active_idx) =
-        crate::preflight::project_active(net, &faults, cfg.lint_preflight);
+    let mut engine = GenerationEngine::new(net, cfg);
+    let source = TpgSeedSource::for_circuit(net, cfg);
     let mut rng = Rng::new(cfg.master_seed);
-    let mut stats = GenerationStats {
-        faults_skipped_lint: faults.len() - active_faults.len(),
-        ..GenerationStats::default()
-    };
-
-    let mut queue = SeedQueue::new();
-    let mut evaluator = BatchEvaluator::new(net, &cfg.search);
-    let inner = evaluator.inner_threads();
-
-    let mut sequences: Vec<MultiSegmentSequence> = Vec::new();
-    let mut tests_applied = 0usize;
-    let mut peak_swa = 0.0f64;
-    let mut attempt_failures = 0usize;
-    let mut seeds_tried = 0usize;
-    let mut attempts = 0usize;
-
-    while attempt_failures < cfg.attempt_failure_limit && seeds_tried < cfg.max_seeds {
-        // Construct one multi-segment sequence, starting from a reachable
-        // initial state (round-robin over the provided set).
-        let init = &initial_states[attempts % initial_states.len()];
-        attempts += 1;
-        let mut cur_state = init.clone();
-        let mut seq = MultiSegmentSequence::new(init.clone());
-        let mut seed_failures = 0usize;
-        'segment: while seed_failures < cfg.segment_failure_limit && seeds_tried < cfg.max_seeds {
-            let batch = queue.draw(&mut rng, cfg.search.batch);
-            let snapshot: &[bool] = &detected;
-            let start = &cur_state;
-            let evals = evaluator.run(&batch, |engine, seed| {
-                let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
-                let len = rule.admissible_prefix(net, start, &pis);
-                if len < 2 {
-                    return SegmentCandidate {
-                        len,
-                        tests: Vec::new(),
-                        newly: Vec::new(),
-                        peak_swa: 0.0,
-                        next_state: None,
-                        cycles: cfg.seq_len,
-                    };
-                }
-                let prefix = &pis[..len];
-                let traj = simulate_sequence(net, start, prefix);
-                let tests = functional_tests(prefix, &traj.states);
-                // Simulate only the lint-surviving faults; report newly
-                // detected ones as indices into the full list.
-                let mut local: Vec<bool> = active_idx.iter().map(|&i| snapshot[i]).collect();
-                let newly = engine
-                    .simulate(
-                        TestSet::Broadside(&tests),
-                        &active_faults,
-                        &mut local,
-                        &FaultSimOptions::new().threads(inner),
-                    )
-                    .newly_detected;
-                let newly = if newly > 0 {
-                    (0..local.len())
-                        .filter(|&j| local[j] && !snapshot[active_idx[j]])
-                        .map(|j| active_idx[j])
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                SegmentCandidate {
-                    len,
-                    tests,
-                    newly,
-                    peak_swa: traj.peak_swa(),
-                    next_state: Some(traj.states[len].clone()),
-                    cycles: cfg.seq_len + len,
-                }
-            });
-            stats.evals += evals.len();
-            for ev in &evals {
-                stats.sim_cycles += ev.cycles;
-                if ev.len >= 2 {
-                    stats.fsim_calls += 1;
-                }
-            }
-            for (k, cand) in evals.into_iter().enumerate() {
-                if seed_failures >= cfg.segment_failure_limit || seeds_tried >= cfg.max_seeds {
-                    queue.requeue(&batch[k..]);
-                    break 'segment;
-                }
-                seeds_tried += 1;
-                stats.seeds_tried += 1;
-                if cand.newly.is_empty() {
-                    seed_failures += 1;
-                } else {
-                    for i in cand.newly {
-                        detected[i] = true;
-                    }
-                    tests_applied += cand.tests.len();
-                    peak_swa = peak_swa.max(cand.peak_swa);
-                    cur_state = cand.next_state.expect("accepted candidates carry a state");
-                    seq.segments.push(Segment {
-                        seed: batch[k],
-                        len: cand.len,
-                    });
-                    seed_failures = 0;
-                    stats.seeds_kept += 1;
-                    // Later candidates saw a stale snapshot: requeue them.
-                    queue.requeue(&batch[k + 1..]);
-                    continue 'segment;
-                }
-            }
-        }
-        if seq.segments.is_empty() {
-            attempt_failures += 1;
-        } else {
-            attempt_failures = 0;
-            sequences.push(seq);
-        }
-    }
-    stats.wasted_evals = stats.evals - stats.seeds_tried;
+    let mut detected = vec![false; engine.num_faults()];
+    let run = engine.construct(
+        &source,
+        policy,
+        &StateOverlay::Identity,
+        initial_states,
+        &mut rng,
+        &mut detected,
+        &ConstructOptions {
+            r_limit: cfg.segment_failure_limit,
+            q_limit: cfg.attempt_failure_limit,
+            single_sequence: false,
+            chain_state: true,
+            keep_tests: false,
+        },
+    );
+    let mut stats = run.stats;
     stats.select_wall = t0.elapsed();
     stats.total_wall = t0.elapsed();
 
     ConstrainedOutcome {
-        sequences,
+        sequences: run.sequences,
         swafunc,
-        faults,
-        detected,
-        tests_applied,
-        peak_swa,
-        stats,
+        summary: OutcomeSummary {
+            faults: engine.into_faults(),
+            detected,
+            tests_applied: run.tests_applied,
+            peak_swa: run.peak_swa,
+            stats,
+        },
     }
 }
 
 /// Replay a constrained outcome's sequences and return the per-sequence
 /// trajectories' tests — used by verification and by the state-holding stage
-/// to know the remaining undetected faults exactly.
+/// to know the remaining undetected faults exactly. A thin wrapper over the
+/// mode-generic [`engine::replay_tests`].
 pub fn replay_tests(
     net: &Netlist,
     outcome: &ConstrainedOutcome,
     cfg: &FunctionalBistConfig,
 ) -> Vec<fbt_fault::BroadsideTest> {
-    let spec = TpgSpec {
-        lfsr_width: cfg.lfsr_width,
-        m: cfg.m,
-        cube: cube::input_cube(net),
-    };
-    let mut all = Vec::with_capacity(outcome.tests_applied);
-    for seq in &outcome.sequences {
-        let mut cur = seq.initial_state.clone();
-        for seg in &seq.segments {
-            let pis = Tpg::new(spec.clone(), seg.seed).sequence(cfg.seq_len);
-            let prefix = &pis[..seg.len];
-            let traj = simulate_sequence(net, &cur, prefix);
-            all.extend(functional_tests(prefix, &traj.states));
-            cur = traj.states[seg.len].clone();
-        }
-    }
-    all
+    engine::replay_tests(
+        net,
+        &TpgSeedSource::for_circuit(net, cfg),
+        &StateOverlay::Identity,
+        &outcome.sequences,
+        cfg.seq_len,
+    )
+    .into_broadside()
 }
 
 #[cfg(test)]
@@ -460,7 +240,7 @@ mod tests {
     use super::*;
     use crate::driver::{swafunc as compute_swafunc, DrivingBlock};
     use crate::SearchOptions;
-    use fbt_fault::PackedParallelSim;
+    use fbt_fault::{FaultSimEngine, PackedParallelSim};
     use fbt_netlist::{s27, synth};
 
     #[test]

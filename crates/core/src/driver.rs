@@ -11,12 +11,12 @@
 //! all primary inputs of the target are driven by primary outputs of the
 //! driving block. The unconstrained case uses a block of `buffers`.
 
-use fbt_bist::{cube, Tpg, TpgSpec};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
 use fbt_sim::seq::simulate_sequence;
 use fbt_sim::Bits;
 
+use crate::engine::{SeedSource, TpgSeedSource};
 use crate::FunctionalBistConfig;
 
 /// What drives the target circuit's primary inputs during functional
@@ -70,25 +70,17 @@ pub fn functional_sequences(
     let mut rng = Rng::new(cfg.master_seed ^ 0x5EED_F00D);
     match driver {
         DrivingBlock::Buffers => {
-            let spec = TpgSpec {
-                lfsr_width: cfg.lfsr_width,
-                m: cfg.m,
-                cube: cube::input_cube(target),
-            };
+            let source = TpgSeedSource::for_circuit(target, cfg);
             (0..cfg.func_sequences)
-                .map(|_| Tpg::new(spec.clone(), rng.next_u64()).sequence(cfg.func_len))
+                .map(|_| source.expand(rng.next_u64(), cfg.func_len))
                 .collect()
         }
         DrivingBlock::Circuit(block) => {
-            let spec = TpgSpec {
-                lfsr_width: cfg.lfsr_width,
-                m: cfg.m,
-                cube: cube::input_cube(block),
-            };
+            let source = TpgSeedSource::for_circuit(block, cfg);
             let zero = Bits::zeros(block.num_dffs());
             (0..cfg.func_sequences)
                 .map(|_| {
-                    let pis = Tpg::new(spec.clone(), rng.next_u64()).sequence(cfg.func_len);
+                    let pis = source.expand(rng.next_u64(), cfg.func_len);
                     let traj = simulate_sequence(block, &zero, &pis);
                     traj.outputs
                         .iter()

@@ -8,21 +8,27 @@
 //! bound `SWAfunc` continues to cap every applied cycle, so overtesting by
 //! excessive power is still avoided. Hold sets are chosen with the
 //! full-and-complete binary tree procedure of §4.5.2 (Fig. 4.12).
+//!
+//! Each construction run is the [`GenerationEngine`] with the same
+//! [`SwaRule`] as the constrained method but a
+//! [`StateOverlay::Hold`] — the admissibility geometry, seed search,
+//! speculation and stats are shared; only the trajectory (and the resulting
+//! two-pattern tests with explicit second states) differ.
 
 use std::time::Instant;
 
 use fbt_bist::holding::HoldSet;
-use fbt_bist::{cube, Tpg, TpgSpec};
-use fbt_fault::TransitionFault;
-use fbt_fault::{FaultSimEngine, FaultSimOptions, TestSet, TwoPatternTest};
+use fbt_fault::TwoPatternTest;
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
-use fbt_sim::seq::SeqSim;
 use fbt_sim::Bits;
 
-use crate::constrained::{ConstrainedOutcome, MultiSegmentSequence, Segment};
-use crate::extract::held_tests;
-use crate::search::{BatchEvaluator, SeedQueue};
+use crate::constrained::ConstrainedOutcome;
+use crate::engine::{
+    self, ConstructOptions, ConstructionRun, GenerationEngine, StateOverlay, TpgSeedSource,
+};
+use crate::outcome::{deref_summary, MultiSegmentSequence, OutcomeSummary};
+use crate::policy::SwaRule;
 use crate::stats::GenerationStats;
 use crate::FunctionalBistConfig;
 
@@ -33,22 +39,19 @@ pub struct HoldingOutcome {
     pub sets: Vec<HoldSet>,
     /// The multi-segment sequences constructed for each selected set.
     pub sequences_per_set: Vec<Vec<MultiSegmentSequence>>,
-    /// The shared fault list (same as the base outcome's).
-    pub faults: Vec<TransitionFault>,
-    /// Final detection flags (functional broadside + holding).
-    pub detected: Vec<bool>,
     /// Coverage before holding, in percent.
     pub base_coverage: f64,
-    /// Tests applied during the holding stage.
-    pub tests_applied: usize,
-    /// Peak switching activity during the holding stage (still ≤ `SWAfunc`).
-    pub peak_swa: f64,
     /// The bound in force.
     pub swafunc: f64,
-    /// Instrumentation aggregated over every construction run (probes and
-    /// commitments).
-    pub stats: GenerationStats,
+    /// The shared outcome facts: the base outcome's fault list, the final
+    /// detection flags (functional broadside + holding), the holding-stage
+    /// test count, the holding-stage peak activity (still ≤ `SWAfunc`) and
+    /// the instrumentation aggregated over every construction run (probes
+    /// and commitments). Field access forwards via `Deref`.
+    pub summary: OutcomeSummary,
 }
+
+deref_summary!(HoldingOutcome);
 
 impl HoldingOutcome {
     /// Final transition fault coverage in percent.
@@ -75,193 +78,61 @@ impl HoldingOutcome {
             .map(MultiSegmentSequence::num_segments)
             .sum()
     }
-}
 
-/// Simulate a primary-input sequence with the hold mask applied on every
-/// `2^h`-th cycle's state update; returns the traversed states and per-cycle
-/// switching activity.
-fn simulate_holding(
-    net: &Netlist,
-    start: &Bits,
-    pis: &[Bits],
-    mask: &Bits,
-    h: u32,
-) -> (Vec<Bits>, Vec<Option<f64>>) {
-    let mut sim = SeqSim::new(net, start);
-    let mut states = Vec::with_capacity(pis.len() + 1);
-    let mut swa = Vec::with_capacity(pis.len());
-    states.push(start.clone());
-    for (c, pi) in pis.iter().enumerate() {
-        let hold = (c as u64 & ((1 << h) - 1) == 0).then_some(mask);
-        let r = sim.step_holding(pi, hold);
-        states.push(r.next_state);
-        swa.push(r.switching_activity);
-    }
-    (states, swa)
-}
-
-/// The longest even admissible prefix under holding: same geometry as the
-/// constrained method's rule, evaluated on the *held* trajectory.
-fn admissible_prefix_holding(
-    net: &Netlist,
-    bound: f64,
-    start: &Bits,
-    pis: &[Bits],
-    mask: &Bits,
-    h: u32,
-) -> usize {
-    let (_, swa) = simulate_holding(net, start, pis, mask, h);
-    match swa
-        .iter()
-        .position(|s| s.is_some_and(|v| v > bound + 1e-12))
-    {
-        Some(v) => (v.saturating_sub(1)) & !1usize,
-        None => pis.len() & !1usize,
+    /// Replay the holding-stage sequences (per selected set, under that
+    /// set's hold overlay) and return the exact two-pattern tests they
+    /// applied (see [`engine::replay_tests`]).
+    pub fn replay_tests(&self, net: &Netlist, cfg: &FunctionalBistConfig) -> Vec<TwoPatternTest> {
+        let source = TpgSeedSource::for_circuit(net, cfg);
+        let n_ff = net.num_dffs();
+        let mut all = Vec::with_capacity(self.tests_applied);
+        for (set, seqs) in self.sets.iter().zip(&self.sequences_per_set) {
+            let overlay = StateOverlay::Hold {
+                mask: set.mask(n_ff),
+                h: cfg.hold_period_log2,
+            };
+            all.extend(
+                engine::replay_tests(net, &source, &overlay, seqs, cfg.seq_len).into_two_pattern(),
+            );
+        }
+        all
     }
 }
 
-/// One speculative candidate evaluation under holding: everything the
-/// commit step needs, computed against snapshots of the detection flags and
-/// the sequence's current state.
-struct HeldCandidate {
-    /// Admissible prefix length (`< 2` = inadmissible).
-    len: usize,
-    /// The extracted two-pattern tests of the held prefix.
-    tests: Vec<TwoPatternTest>,
-    /// Faults newly detected relative to the snapshot (empty = reject).
-    newly: Vec<usize>,
-    /// Peak activity over the held prefix trajectory.
-    peak_swa: f64,
-    /// The state reached at the end of the prefix.
-    next_state: Option<Bits>,
-    /// Logic-simulated cycles this evaluation cost.
-    cycles: usize,
-}
-
-/// One construction run (the Fig. 4.9 procedure with holding): returns the
-/// sequences, tests applied, peak activity and search stats; marks
-/// `detected`. Candidate seeds are evaluated with the deterministic
-/// speculative-batch search of [`crate::search`].
+/// One construction run (the Fig. 4.9 procedure with holding): the unified
+/// engine under a [`StateOverlay::Hold`], marking `detected`.
 #[allow(clippy::too_many_arguments)]
 fn construct(
-    net: &Netlist,
+    engine: &mut GenerationEngine<'_>,
+    source: &TpgSeedSource,
     bound: f64,
     cfg: &FunctionalBistConfig,
     r_limit: usize,
     q_limit: usize,
     mask: &Bits,
-    spec: &TpgSpec,
-    faults: &[TransitionFault],
     detected: &mut [bool],
-    evaluator: &mut BatchEvaluator<'_>,
     rng: &mut Rng,
-) -> (Vec<MultiSegmentSequence>, usize, f64, GenerationStats) {
-    let h = cfg.hold_period_log2;
-    let inner = evaluator.inner_threads();
-    let zero = Bits::zeros(net.num_dffs());
-    let mut queue = SeedQueue::new();
-    let mut stats = GenerationStats::default();
-    let t0 = Instant::now();
-    let mut sequences = Vec::new();
-    let mut tests_applied = 0usize;
-    let mut peak = 0.0f64;
-    let mut attempt_failures = 0usize;
-    let mut seeds_tried = 0usize;
-    while attempt_failures < q_limit && seeds_tried < cfg.max_seeds {
-        let mut cur = zero.clone();
-        let mut seq = MultiSegmentSequence::new(zero.clone());
-        let mut seed_failures = 0usize;
-        'segment: while seed_failures < r_limit && seeds_tried < cfg.max_seeds {
-            let batch = queue.draw(rng, cfg.search.batch);
-            let snapshot: &[bool] = detected;
-            let start = &cur;
-            let evals = evaluator.run(&batch, |engine, seed| {
-                let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
-                let len = admissible_prefix_holding(net, bound, start, &pis, mask, h);
-                if len < 2 {
-                    return HeldCandidate {
-                        len,
-                        tests: Vec::new(),
-                        newly: Vec::new(),
-                        peak_swa: 0.0,
-                        next_state: None,
-                        cycles: cfg.seq_len,
-                    };
-                }
-                let prefix = &pis[..len];
-                let (states, swa) = simulate_holding(net, start, prefix, mask, h);
-                let tests = held_tests(prefix, &states);
-                let mut local = snapshot.to_vec();
-                let newly = engine
-                    .simulate(
-                        TestSet::TwoPattern(&tests),
-                        faults,
-                        &mut local,
-                        &FaultSimOptions::new().threads(inner),
-                    )
-                    .newly_detected;
-                let newly = if newly > 0 {
-                    (0..local.len())
-                        .filter(|&i| local[i] && !snapshot[i])
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                HeldCandidate {
-                    len,
-                    tests,
-                    newly,
-                    peak_swa: swa.iter().flatten().fold(0.0f64, |a, &b| a.max(b)),
-                    next_state: Some(states[len].clone()),
-                    cycles: cfg.seq_len + len,
-                }
-            });
-            stats.evals += evals.len();
-            for ev in &evals {
-                stats.sim_cycles += ev.cycles;
-                if ev.len >= 2 {
-                    stats.fsim_calls += 1;
-                }
-            }
-            for (k, cand) in evals.into_iter().enumerate() {
-                if seed_failures >= r_limit || seeds_tried >= cfg.max_seeds {
-                    queue.requeue(&batch[k..]);
-                    break 'segment;
-                }
-                seeds_tried += 1;
-                stats.seeds_tried += 1;
-                if cand.newly.is_empty() {
-                    seed_failures += 1;
-                } else {
-                    for i in cand.newly {
-                        detected[i] = true;
-                    }
-                    tests_applied += cand.tests.len();
-                    peak = peak.max(cand.peak_swa);
-                    cur = cand.next_state.expect("accepted candidates carry a state");
-                    seq.segments.push(Segment {
-                        seed: batch[k],
-                        len: cand.len,
-                    });
-                    seed_failures = 0;
-                    stats.seeds_kept += 1;
-                    // Later candidates saw a stale snapshot: requeue them.
-                    queue.requeue(&batch[k + 1..]);
-                    continue 'segment;
-                }
-            }
-        }
-        if seq.segments.is_empty() {
-            attempt_failures += 1;
-        } else {
-            attempt_failures = 0;
-            sequences.push(seq);
-        }
-    }
-    stats.wasted_evals = stats.evals - stats.seeds_tried;
-    stats.select_wall = t0.elapsed();
-    stats.total_wall = t0.elapsed();
-    (sequences, tests_applied, peak, stats)
+) -> ConstructionRun {
+    let overlay = StateOverlay::Hold {
+        mask: mask.clone(),
+        h: cfg.hold_period_log2,
+    };
+    let zero = Bits::zeros(engine.net().num_dffs());
+    engine.construct(
+        source,
+        &SwaRule { bound },
+        &overlay,
+        std::slice::from_ref(&zero),
+        rng,
+        detected,
+        &ConstructOptions {
+            r_limit,
+            q_limit,
+            single_sequence: false,
+            chain_state: true,
+            keep_tests: false,
+        },
+    )
 }
 
 /// Run the optional state-holding stage after constrained generation.
@@ -305,12 +176,11 @@ pub fn improve_with_holding(
         "base outcome does not match this circuit"
     );
     let t0 = Instant::now();
-    let spec = TpgSpec {
-        lfsr_width: cfg.lfsr_width,
-        m: cfg.m,
-        cube: cube::input_cube(net),
-    };
-    let mut evaluator = BatchEvaluator::new(net, &cfg.search);
+    let source = TpgSeedSource::for_circuit(net, cfg);
+    // The holding stage fault-simulates the full base fault list (no lint
+    // projection): unreachable held states can expose faults the preflight's
+    // reachable-operation reasoning does not cover conservatively.
+    let mut engine = GenerationEngine::with_faults(net, cfg, base.faults.clone(), false);
     let mut stats = GenerationStats::default();
     let n_ff = net.num_dffs();
     let mut rng = Rng::new(cfg.master_seed ^ 0x401D);
@@ -347,20 +217,18 @@ pub fn improve_with_holding(
         let mut scratch = base.detected.clone();
         let mut probe_rng = Rng::new(cfg.master_seed ^ (0xD37 + i as u64));
         let before = scratch.iter().filter(|&&d| d).count();
-        let (_, _, _, probe_stats) = construct(
-            net,
+        let probe = construct(
+            &mut engine,
+            &source,
             swafunc,
             cfg,
             1,
             1,
             &mask,
-            &spec,
-            &base.faults,
             &mut scratch,
-            &mut evaluator,
             &mut probe_rng,
         );
-        stats.absorb(&probe_stats);
+        stats.absorb(&probe.stats);
         det[i] = scratch.iter().filter(|&&d| d).count() - before;
     }
 
@@ -398,26 +266,24 @@ pub fn improve_with_holding(
         let mask = HoldSet::new(subset.clone()).mask(n_ff);
         let before = detected.iter().filter(|&&d| d).count();
         let mut commit_rng = rng.fork();
-        let (seqs, tests, peak, commit_stats) = construct(
-            net,
+        let commit = construct(
+            &mut engine,
+            &source,
             swafunc,
             cfg,
             cfg.segment_failure_limit,
             cfg.attempt_failure_limit,
             &mask,
-            &spec,
-            &base.faults,
             &mut detected,
-            &mut evaluator,
             &mut commit_rng,
         );
-        stats.absorb(&commit_stats);
+        stats.absorb(&commit.stats);
         let newly = detected.iter().filter(|&&d| d).count() - before;
         if newly > 0 {
             kept_sets.push(HoldSet::new(subset));
-            sequences_per_set.push(seqs);
-            tests_applied += tests;
-            peak_swa = peak_swa.max(peak);
+            sequences_per_set.push(commit.sequences);
+            tests_applied += commit.tests_applied;
+            peak_swa = peak_swa.max(commit.peak_swa);
         }
     }
     stats.total_wall = t0.elapsed();
@@ -425,13 +291,15 @@ pub fn improve_with_holding(
     HoldingOutcome {
         sets: kept_sets,
         sequences_per_set,
-        faults: base.faults.clone(),
-        detected,
         base_coverage: base.fault_coverage(),
-        tests_applied,
-        peak_swa,
         swafunc,
-        stats,
+        summary: OutcomeSummary {
+            faults: engine.into_faults(),
+            detected,
+            tests_applied,
+            peak_swa,
+            stats,
+        },
     }
 }
 
@@ -455,12 +323,8 @@ pub fn improve_with_holding_greedy(
 ) -> HoldingOutcome {
     cfg.validate();
     let t0 = Instant::now();
-    let spec = TpgSpec {
-        lfsr_width: cfg.lfsr_width,
-        m: cfg.m,
-        cube: cube::input_cube(net),
-    };
-    let mut evaluator = BatchEvaluator::new(net, &cfg.search);
+    let source = TpgSeedSource::for_circuit(net, cfg);
+    let mut engine = GenerationEngine::with_faults(net, cfg, base.faults.clone(), false);
     let mut stats = GenerationStats::default();
     let n_ff = net.num_dffs();
     let mut rng = Rng::new(cfg.master_seed ^ 0x93EED);
@@ -492,20 +356,18 @@ pub fn improve_with_holding_greedy(
             let mut scratch = detected.clone();
             let before = scratch.iter().filter(|&&d| d).count();
             let mut probe_rng = Rng::new(cfg.master_seed ^ (0x6EED + gi as u64));
-            let (_, _, _, probe_stats) = construct(
-                net,
+            let probe = construct(
+                &mut engine,
+                &source,
                 swafunc,
                 cfg,
                 1,
                 1,
                 &mask,
-                &spec,
-                &base.faults,
                 &mut scratch,
-                &mut evaluator,
                 &mut probe_rng,
             );
-            stats.absorb(&probe_stats);
+            stats.absorb(&probe.stats);
             let gain = scratch.iter().filter(|&&d| d).count() - before;
             if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
                 best = Some((gain, gi));
@@ -516,26 +378,24 @@ pub fn improve_with_holding_greedy(
         let mask = HoldSet::new(subset.clone()).mask(n_ff);
         let before = detected.iter().filter(|&&d| d).count();
         let mut commit_rng = rng.fork();
-        let (seqs, tests, peak, commit_stats) = construct(
-            net,
+        let commit = construct(
+            &mut engine,
+            &source,
             swafunc,
             cfg,
             cfg.segment_failure_limit,
             cfg.attempt_failure_limit,
             &mask,
-            &spec,
-            &base.faults,
             &mut detected,
-            &mut evaluator,
             &mut commit_rng,
         );
-        stats.absorb(&commit_stats);
+        stats.absorb(&commit.stats);
         let newly = detected.iter().filter(|&&d| d).count() - before;
         if newly > 0 {
             kept_sets.push(HoldSet::new(subset));
-            sequences_per_set.push(seqs);
-            tests_applied += tests;
-            peak_swa = peak_swa.max(peak);
+            sequences_per_set.push(commit.sequences);
+            tests_applied += commit.tests_applied;
+            peak_swa = peak_swa.max(commit.peak_swa);
         }
         if groups.is_empty() {
             break;
@@ -546,13 +406,15 @@ pub fn improve_with_holding_greedy(
     HoldingOutcome {
         sets: kept_sets,
         sequences_per_set,
-        faults: base.faults.clone(),
-        detected,
         base_coverage: base.fault_coverage(),
-        tests_applied,
-        peak_swa,
         swafunc,
-        stats,
+        summary: OutcomeSummary {
+            faults: engine.into_faults(),
+            detected,
+            tests_applied,
+            peak_swa,
+            stats,
+        },
     }
 }
 
@@ -561,6 +423,7 @@ mod tests {
     use super::*;
     use crate::driver::{swafunc as compute_swafunc, DrivingBlock};
     use crate::generate_constrained;
+    use fbt_fault::{FaultSimEngine, PackedParallelSim};
     use fbt_netlist::s27;
 
     fn base_outcome() -> (
@@ -624,7 +487,8 @@ mod tests {
             .map(|i| Bits::from_bools(&[i % 2 == 0, true, false, i % 3 == 0]))
             .collect();
         let start = Bits::from_str01("010");
-        let (states, _) = simulate_holding(&net, &start, &pis, &mask, 1);
+        let overlay = StateOverlay::Hold { mask, h: 1 };
+        let (states, _) = overlay.simulate(&net, &start, &pis);
         // h = 1: every even cycle's update holds FF 1, so its value can only
         // change on odd-cycle updates.
         for c in (0..pis.len()).step_by(2) {
@@ -634,6 +498,20 @@ mod tests {
                 "FF 1 changed on held update {c}"
             );
         }
+    }
+
+    #[test]
+    fn replay_reproduces_the_holding_stage() {
+        // Replaying the per-set sequences under their hold overlays must
+        // reproduce the test count and re-detect everything beyond the base.
+        let (net, bound, cfg, base) = base_outcome();
+        let out = improve_with_holding(&net, bound, &cfg, &base);
+        let tests = out.replay_tests(&net, &cfg);
+        assert_eq!(tests.len(), out.tests_applied);
+        let mut detected = base.detected.clone();
+        let mut fsim = PackedParallelSim::new(&net);
+        fsim.run_two_pattern(&tests, &out.faults, &mut detected);
+        assert_eq!(detected, out.detected);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! * [`driver`] — embedded-block modelling: a [`driver::DrivingBlock`]
 //!   constrains the target's primary inputs, and its functional input
 //!   sequences define the peak switching activity `SWAfunc` (§4.4);
+//! * [`engine`] — the policy-driven [`engine::GenerationEngine`] that owns
+//!   the seed-search loop shared by all three Chapter-4 generation modes
+//!   (candidate draw, speculative batch evaluation, admissibility, fault
+//!   simulation, compaction, stats);
+//! * [`policy`] — the [`policy::AdmissibilityPolicy`] implementations: the
+//!   `SWAfunc` rule of the constrained method and the unbounded baseline;
 //! * [`unconstrained`] — the baseline method of \[73\] (single-segment
 //!   sequences, seed selection, forward-looking compaction);
 //! * [`constrained`] — **the contribution**: multi-segment primary-input
@@ -33,10 +39,13 @@ pub mod constrained;
 pub mod curve;
 pub mod domains;
 pub mod driver;
+pub mod engine;
 pub mod experiment;
 pub mod extract;
 pub mod holding;
+pub mod outcome;
 pub mod overtest;
+pub mod policy;
 mod preflight;
 pub mod search;
 pub mod session;
@@ -48,12 +57,17 @@ pub use certify::{certify_state, certify_tests, CertificationReport, TestCertifi
 pub use config::{DeviationMetric, FunctionalBistConfig};
 pub use constrained::{
     generate_constrained, generate_constrained_from, generate_constrained_with_library,
-    ConstrainedOutcome, MultiSegmentSequence, Segment,
+    ConstrainedOutcome,
 };
 pub use driver::{swafunc, DrivingBlock};
+pub use engine::{
+    GenerationEngine, OwnedTests, SeedSource, StateOverlay, TpgSeedSource, WeightedSeedSource,
+};
 pub use fbt_netlist::Error;
 pub use holding::{improve_with_holding, improve_with_holding_greedy, HoldingOutcome};
+pub use outcome::{MultiSegmentSequence, OutcomeSummary, Segment};
 pub use overtest::{estimate_overtesting, OvertestReport};
+pub use policy::{AdmissibilityPolicy, SwaRule, Unbounded};
 pub use search::SearchOptions;
 pub use session::{run_on_hardware, SessionResult};
 pub use stats::GenerationStats;

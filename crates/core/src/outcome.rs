@@ -1,0 +1,130 @@
+//! Shared outcome data for the three Chapter-4 generation modes.
+//!
+//! Every generation entry point reports the same core facts — the collapsed
+//! fault list, the detection flags, the applied test count, the peak
+//! switching activity and the search instrumentation. [`OutcomeSummary`]
+//! holds them once; the mode-specific outcome structs embed it and
+//! `Deref` into it, so `out.fault_coverage()`, `out.detected`, `out.stats`
+//! etc. read identically across all three modes.
+
+use fbt_fault::TransitionFault;
+use fbt_sim::Bits;
+
+use crate::stats::GenerationStats;
+
+/// One primary-input segment: an LFSR seed and the (even) number of cycles
+/// applied from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The LFSR seed loaded for this segment.
+    pub seed: u64,
+    /// Number of clock cycles applied (always even, so the segment ends at
+    /// the final state of its last test).
+    pub len: usize,
+}
+
+/// A multi-segment primary-input sequence `Pmulti = Pseg(0) … Pseg(Nseg-1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiSegmentSequence {
+    /// The reachable state the circuit is initialized into before this
+    /// sequence (the all-0 state in the paper's experiments; §4.4 notes
+    /// several reachable states can be used when scan-in storage allows).
+    pub initial_state: Bits,
+    /// The segments, in application order.
+    pub segments: Vec<Segment>,
+}
+
+impl MultiSegmentSequence {
+    /// An empty sequence starting from `initial_state`.
+    pub fn new(initial_state: Bits) -> Self {
+        MultiSegmentSequence {
+            initial_state,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total applied cycles.
+    pub fn total_len(&self) -> usize {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+}
+
+/// The facts every generation run reports, independent of mode.
+#[derive(Debug, Clone)]
+pub struct OutcomeSummary {
+    /// The collapsed transition fault list.
+    pub faults: Vec<TransitionFault>,
+    /// Detection flag per fault.
+    pub detected: Vec<bool>,
+    /// Total number of tests applied on-chip.
+    pub tests_applied: usize,
+    /// Peak switching activity observed during the applied sequences.
+    pub peak_swa: f64,
+    /// Instrumentation counters and wall times for this run.
+    pub stats: GenerationStats,
+}
+
+impl OutcomeSummary {
+    /// Transition fault coverage in percent.
+    pub fn fault_coverage(&self) -> f64 {
+        fbt_fault::sim::coverage_percent(&self.detected)
+    }
+
+    /// Number of detected faults.
+    pub fn num_detected(&self) -> usize {
+        self.detected.iter().filter(|&&d| d).count()
+    }
+}
+
+/// Forward field and method access from a mode-specific outcome struct to
+/// its embedded [`OutcomeSummary`].
+macro_rules! deref_summary {
+    ($outcome:ty) => {
+        impl std::ops::Deref for $outcome {
+            type Target = $crate::outcome::OutcomeSummary;
+            fn deref(&self) -> &$crate::outcome::OutcomeSummary {
+                &self.summary
+            }
+        }
+        impl std::ops::DerefMut for $outcome {
+            fn deref_mut(&mut self) -> &mut $crate::outcome::OutcomeSummary {
+                &mut self.summary
+            }
+        }
+    };
+}
+pub(crate) use deref_summary;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_counts_and_coverage() {
+        let s = OutcomeSummary {
+            faults: Vec::new(),
+            detected: vec![true, false, true, true],
+            tests_applied: 7,
+            peak_swa: 0.25,
+            stats: GenerationStats::default(),
+        };
+        assert_eq!(s.num_detected(), 3);
+        assert!((s.fault_coverage() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_accessors() {
+        let mut seq = MultiSegmentSequence::new(Bits::zeros(3));
+        assert_eq!(seq.num_segments(), 0);
+        assert_eq!(seq.total_len(), 0);
+        seq.segments.push(Segment { seed: 1, len: 4 });
+        seq.segments.push(Segment { seed: 2, len: 6 });
+        assert_eq!(seq.num_segments(), 2);
+        assert_eq!(seq.total_len(), 10);
+    }
+}

@@ -8,11 +8,11 @@
 //! generated test program and counts, per applied clock cycle, whether its
 //! pattern of signal-transitions is covered by the functional library.
 
-use fbt_bist::{cube, Tpg, TpgSpec};
 use fbt_netlist::Netlist;
 use fbt_sim::{comb, Bits};
 
 use crate::constrained::ConstrainedOutcome;
+use crate::engine::{SeedSource, TpgSeedSource};
 use crate::stp::StpLibrary;
 use crate::FunctionalBistConfig;
 
@@ -50,11 +50,7 @@ pub fn estimate_overtesting(
     cfg: &FunctionalBistConfig,
     library: &StpLibrary,
 ) -> OvertestReport {
-    let spec = TpgSpec {
-        lfsr_width: cfg.lfsr_width,
-        m: cfg.m,
-        cube: cube::input_cube(net),
-    };
+    let source = TpgSeedSource::for_circuit(net, cfg);
     let mut total = 0usize;
     let mut non_functional = 0usize;
     let mut vals = vec![false; net.num_nodes()];
@@ -62,7 +58,7 @@ pub fn estimate_overtesting(
     for seq in &outcome.sequences {
         let mut state = seq.initial_state.clone();
         for seg in &seq.segments {
-            let pis = Tpg::new(spec.clone(), seg.seed).sequence(cfg.seq_len);
+            let pis = source.expand(seg.seed, cfg.seq_len);
             for (c, pi) in pis[..seg.len].iter().enumerate() {
                 for (i, &id) in net.inputs().iter().enumerate() {
                     vals[id.index()] = pi.get(i);

@@ -12,12 +12,13 @@
 //! the pass criterion of on-chip test (§4.2).
 
 use fbt_bist::schedule::TestSchedule;
-use fbt_bist::{cube, CycleCounter, Misr, ScanChains, Tpg, TpgSpec};
+use fbt_bist::{CycleCounter, Misr, ScanChains, Tpg};
 use fbt_fault::BroadsideTest;
 use fbt_netlist::Netlist;
 use fbt_sim::seq::SeqSim;
 
 use crate::constrained::ConstrainedOutcome;
+use crate::engine::TpgSeedSource;
 use crate::FunctionalBistConfig;
 
 /// The observable result of a hardware session.
@@ -50,11 +51,10 @@ pub fn run_on_hardware(
     outcome: &ConstrainedOutcome,
     cfg: &FunctionalBistConfig,
 ) -> SessionResult {
-    let spec = TpgSpec {
-        lfsr_width: cfg.lfsr_width,
-        m: cfg.m,
-        cube: cube::input_cube(net),
-    };
+    // The same TPG structure the generation flow builds sequences with —
+    // the hardware session streams it cycle by cycle instead of expanding
+    // whole sequences.
+    let spec = TpgSeedSource::for_circuit(net, cfg).spec;
     let chains = ScanChains::paper_config(net.num_dffs());
     let schedule = TestSchedule::new(
         chains.longest(),

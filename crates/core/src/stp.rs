@@ -15,7 +15,8 @@ use std::collections::HashSet;
 use fbt_netlist::Netlist;
 use fbt_sim::{comb, Bits};
 
-use crate::constrained::SegmentRule;
+use crate::engine::StateOverlay;
+use crate::policy::AdmissibilityPolicy;
 
 /// A library of functional signal-transition patterns.
 ///
@@ -131,8 +132,14 @@ fn is_subset(a: &[(u32, bool)], b: &[(u32, bool)]) -> bool {
     true
 }
 
-impl SegmentRule for StpLibrary {
-    fn admissible_prefix(&self, net: &Netlist, start: &Bits, pis: &[Bits]) -> usize {
+impl AdmissibilityPolicy for StpLibrary {
+    fn admissible_prefix(
+        &self,
+        net: &Netlist,
+        start: &Bits,
+        pis: &[Bits],
+        _overlay: &StateOverlay,
+    ) -> usize {
         let mut vals = vec![false; net.num_nodes()];
         let mut prev = vec![false; net.num_nodes()];
         let mut state = start.clone();
@@ -179,7 +186,8 @@ mod tests {
         let lib = StpLibrary::collect(&net, &Bits::zeros(3), &seqs);
         assert!(!lib.is_empty());
         // Re-simulate the first sequence and check every cycle is allowed.
-        let prefix = lib.admissible_prefix(&net, &Bits::zeros(3), &seqs[0]);
+        let prefix =
+            lib.admissible_prefix(&net, &Bits::zeros(3), &seqs[0], &StateOverlay::Identity);
         assert_eq!(prefix, seqs[0].len() & !1usize);
     }
 
@@ -213,15 +221,16 @@ mod tests {
         let seqs = functional_sequences(&net, &DrivingBlock::Buffers, &cfg);
         let lib = StpLibrary::collect(&net, &Bits::zeros(3), &seqs);
         let swa_bound = lib.max_pattern_len() as f64 / net.num_nodes() as f64;
-        let swa_rule = crate::constrained::SwaRule { bound: swa_bound };
+        let swa_rule = crate::policy::SwaRule { bound: swa_bound };
         // On any candidate segment, the STP prefix cannot exceed the SWA
         // prefix computed from the library's own activity ceiling.
         let mut tpg =
             fbt_bist::Tpg::new(fbt_bist::TpgSpec::standard(vec![fbt_sim::Trit::X; 4]), 42);
+        let overlay = StateOverlay::Identity;
         for _ in 0..5 {
             let pis = tpg.sequence(40);
-            let stp_len = lib.admissible_prefix(&net, &Bits::zeros(3), &pis);
-            let swa_len = swa_rule.admissible_prefix(&net, &Bits::zeros(3), &pis);
+            let stp_len = lib.admissible_prefix(&net, &Bits::zeros(3), &pis, &overlay);
+            let swa_len = swa_rule.admissible_prefix(&net, &Bits::zeros(3), &pis, &overlay);
             assert!(stp_len <= swa_len, "stp {stp_len} > swa {swa_len}");
         }
     }

@@ -10,25 +10,22 @@
 //! forward-looking fault-simulation pass prunes seeds made redundant by later
 //! ones.
 //!
-//! Candidate seeds are evaluated with the deterministic speculative-batch
-//! search of [`crate::search`]: per-seed expansion, simulation and detection
-//! checking run concurrently against a snapshot of the detection flags, and
-//! results commit serially in draw order, so the outcome is bit-identical to
-//! the serial loop for every `SearchOptions` setting.
+//! This is the [`GenerationEngine`] with the [`Unbounded`] admissibility
+//! policy (no truncation, no probe simulation) in single-sequence mode:
+//! every candidate runs from the reset state (`chain_state` off), the
+//! useless-seed limit `U` plays the role of the paper's `R`, and accepted
+//! segments cache their test vectors so the compaction pass never re-expands
+//! or re-simulates.
 
 use std::time::Instant;
 
-use fbt_bist::{cube, Tpg, TpgSpec};
-use fbt_fault::{all_transition_faults, collapse, TransitionFault};
-use fbt_fault::{BroadsideTest, FaultSimEngine, FaultSimOptions, TestSet};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
-use fbt_sim::seq::simulate_sequence;
 use fbt_sim::Bits;
 
-use crate::extract::functional_tests;
-use crate::search::{BatchEvaluator, SeedQueue};
-use crate::stats::GenerationStats;
+use crate::engine::{self, ConstructOptions, GenerationEngine, StateOverlay, TpgSeedSource};
+use crate::outcome::{deref_summary, MultiSegmentSequence, OutcomeSummary, Segment};
+use crate::policy::Unbounded;
 use crate::FunctionalBistConfig;
 
 /// Result of a built-in generation run.
@@ -36,40 +33,50 @@ use crate::FunctionalBistConfig;
 pub struct GenerationOutcome {
     /// Selected LFSR seeds, in application order.
     pub seeds: Vec<u64>,
-    /// Total number of tests applied on-chip.
-    pub tests_applied: usize,
-    /// Peak switching activity observed during the applied sequences.
-    pub peak_swa: f64,
-    /// The collapsed transition fault list.
-    pub faults: Vec<TransitionFault>,
-    /// Detection flag per fault.
-    pub detected: Vec<bool>,
-    /// Instrumentation counters and wall times for this run.
-    pub stats: GenerationStats,
+    /// The shared outcome facts (fault list, detection flags, test count,
+    /// peak activity, stats). Field access forwards via `Deref`.
+    pub summary: OutcomeSummary,
 }
+
+deref_summary!(GenerationOutcome);
 
 impl GenerationOutcome {
-    /// Transition fault coverage in percent.
-    pub fn fault_coverage(&self) -> f64 {
-        fbt_fault::sim::coverage_percent(&self.detected)
+    /// The selected seeds as single-segment sequences from the reset state
+    /// (the unconstrained method's degenerate sequence shape).
+    pub fn as_sequences(
+        &self,
+        net: &Netlist,
+        cfg: &FunctionalBistConfig,
+    ) -> Vec<MultiSegmentSequence> {
+        let zero = Bits::zeros(net.num_dffs());
+        self.seeds
+            .iter()
+            .map(|&seed| MultiSegmentSequence {
+                initial_state: zero.clone(),
+                segments: vec![Segment {
+                    seed,
+                    len: cfg.seq_len,
+                }],
+            })
+            .collect()
     }
 
-    /// Number of detected faults.
-    pub fn num_detected(&self) -> usize {
-        self.detected.iter().filter(|&&d| d).count()
+    /// Replay the selected seeds and return the exact tests they apply
+    /// (see [`engine::replay_tests`]).
+    pub fn replay_tests(
+        &self,
+        net: &Netlist,
+        cfg: &FunctionalBistConfig,
+    ) -> Vec<fbt_fault::BroadsideTest> {
+        engine::replay_tests(
+            net,
+            &TpgSeedSource::for_circuit(net, cfg),
+            &StateOverlay::Identity,
+            &self.as_sequences(net, cfg),
+            cfg.seq_len,
+        )
+        .into_broadside()
     }
-}
-
-/// One speculative candidate evaluation: everything the commit step needs,
-/// computed against a snapshot of the detection flags.
-struct Candidate {
-    /// The extracted functional broadside tests (cached for compaction).
-    tests: Vec<BroadsideTest>,
-    /// Peak switching activity of the candidate's trajectory.
-    peak_swa: f64,
-    /// Faults this candidate newly detects relative to the snapshot
-    /// (empty = reject).
-    newly: Vec<usize>,
 }
 
 /// Run the unconstrained method of \[73\].
@@ -90,146 +97,61 @@ struct Candidate {
 /// Panics on invalid configurations (see
 /// [`FunctionalBistConfig::validate`]).
 pub fn generate_unconstrained(net: &Netlist, cfg: &FunctionalBistConfig) -> GenerationOutcome {
-    cfg.validate();
     let t0 = Instant::now();
-    let spec = TpgSpec {
-        lfsr_width: cfg.lfsr_width,
-        m: cfg.m,
-        cube: cube::input_cube(net),
-    };
-    let faults = collapse(net, &all_transition_faults(net));
-    let mut detected = vec![false; faults.len()];
-    // Lint pre-flight: faults the static analysis proves untestable never
-    // enter the simulator. They stay `false` in the full-length `detected`
-    // flags — exactly what simulating them would yield — so the outcome is
-    // bit-identical with the pre-flight off.
-    let (active_faults, active_idx) =
-        crate::preflight::project_active(net, &faults, cfg.lint_preflight);
+    let mut engine = GenerationEngine::new(net, cfg);
+    let source = TpgSeedSource::for_circuit(net, cfg);
     let mut rng = Rng::new(cfg.master_seed);
     let zero = Bits::zeros(net.num_dffs());
-    let mut stats = GenerationStats {
-        faults_skipped_lint: faults.len() - active_faults.len(),
-        ..GenerationStats::default()
-    };
-
-    let mut queue = SeedQueue::new();
-    let mut evaluator = BatchEvaluator::new(net, &cfg.search);
-    let inner = evaluator.inner_threads();
-
-    // Seed selection: speculative rounds over the seed stream, committed in
-    // draw order. Each kept seed's test vectors and peak activity are cached
-    // so the compaction pass below never re-expands or re-simulates.
-    let mut kept: Vec<(u64, Vec<BroadsideTest>, f64)> = Vec::new();
-    let mut useless = 0usize;
-    let mut tried = 0usize;
-    'select: while useless < cfg.useless_seed_limit && tried < cfg.max_seeds {
-        let batch = queue.draw(&mut rng, cfg.search.batch);
-        let snapshot: &[bool] = &detected;
-        let evals = evaluator.run(&batch, |engine, seed| {
-            let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
-            let traj = simulate_sequence(net, &zero, &pis);
-            let tests = functional_tests(&pis, &traj.states);
-            // Simulate only the lint-surviving faults; report newly detected
-            // ones as indices into the full list.
-            let mut local: Vec<bool> = active_idx.iter().map(|&i| snapshot[i]).collect();
-            let newly = engine
-                .simulate(
-                    TestSet::Broadside(&tests),
-                    &active_faults,
-                    &mut local,
-                    &FaultSimOptions::new().threads(inner),
-                )
-                .newly_detected;
-            let newly = if newly > 0 {
-                (0..local.len())
-                    .filter(|&j| local[j] && !snapshot[active_idx[j]])
-                    .map(|j| active_idx[j])
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            Candidate {
-                tests,
-                peak_swa: traj.peak_swa(),
-                newly,
-            }
-        });
-        stats.evals += evals.len();
-        stats.fsim_calls += evals.len();
-        stats.sim_cycles += evals.len() * cfg.seq_len;
-        for (k, cand) in evals.into_iter().enumerate() {
-            if useless >= cfg.useless_seed_limit || tried >= cfg.max_seeds {
-                queue.requeue(&batch[k..]);
-                break 'select;
-            }
-            tried += 1;
-            if cand.newly.is_empty() {
-                useless += 1;
-            } else {
-                for i in cand.newly {
-                    detected[i] = true;
-                }
-                kept.push((batch[k], cand.tests, cand.peak_swa));
-                useless = 0;
-                // Later candidates in this round were evaluated against a
-                // stale snapshot: requeue their seeds for re-evaluation.
-                queue.requeue(&batch[k + 1..]);
-                continue 'select;
-            }
-        }
-    }
-    stats.seeds_tried = tried;
-    stats.seeds_kept = kept.len();
-    stats.wasted_evals = stats.evals - tried;
+    let mut detected = vec![false; engine.num_faults()];
+    let run = engine.construct(
+        &source,
+        &Unbounded,
+        &StateOverlay::Identity,
+        std::slice::from_ref(&zero),
+        &mut rng,
+        &mut detected,
+        &ConstructOptions {
+            r_limit: cfg.useless_seed_limit,
+            q_limit: 1,
+            single_sequence: true,
+            chain_state: false,
+            keep_tests: true,
+        },
+    );
+    let mut stats = run.stats;
     stats.select_wall = t0.elapsed();
 
-    // Forward-looking compaction: walk the kept seeds in reverse order with
-    // a fresh fault list; a seed whose tests detect nothing beyond what the
-    // later-applied sequences already detect is dropped. Coverage is
-    // preserved by construction. The cached test vectors from the selection
-    // pass make this a pure fault-simulation pass: no TPG re-expansion, no
-    // logic re-simulation.
-    let tc = Instant::now();
-    let mut active_final = vec![false; active_faults.len()];
-    let mut final_seeds: Vec<u64> = Vec::new();
-    let mut tests_applied = 0usize;
-    let mut peak_swa = 0.0f64;
-    let fsim = evaluator.engine();
-    for (seed, tests, peak) in kept.iter().rev() {
-        let newly = fsim.run(tests, &active_faults, &mut active_final);
-        stats.fsim_calls += 1;
-        if newly > 0 {
-            final_seeds.push(*seed);
-            tests_applied += tests.len();
-            peak_swa = peak_swa.max(*peak);
-        }
-    }
-    final_seeds.reverse();
-    // Scatter the active-space flags back into the full-length list; the
-    // skipped faults remain false.
-    let mut final_detected = vec![false; faults.len()];
-    for (j, &i) in active_idx.iter().enumerate() {
-        final_detected[i] = active_final[j];
-    }
-    stats.compact_wall = tc.elapsed();
+    // Forward-looking compaction over the cached test vectors; coverage is
+    // preserved by construction.
+    let compaction = engine.compact(&run.kept, &mut stats);
+    let seeds: Vec<u64> = compaction
+        .kept_indices
+        .iter()
+        .map(|&i| run.kept[i].seed)
+        .collect();
     stats.total_wall = t0.elapsed();
 
     GenerationOutcome {
-        seeds: final_seeds,
-        tests_applied,
-        peak_swa,
-        faults,
-        detected: final_detected,
-        stats,
+        seeds,
+        summary: OutcomeSummary {
+            faults: engine.into_faults(),
+            detected: compaction.detected,
+            tests_applied: compaction.tests_applied,
+            peak_swa: compaction.peak_swa,
+            stats,
+        },
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::extract::functional_tests;
     use crate::SearchOptions;
-    use fbt_fault::PackedParallelSim;
+    use fbt_bist::{cube, Tpg, TpgSpec};
+    use fbt_fault::{FaultSimEngine, PackedParallelSim};
     use fbt_netlist::{s27, synth};
+    use fbt_sim::seq::simulate_sequence;
 
     #[test]
     fn s27_reaches_reasonable_coverage() {
@@ -262,10 +184,10 @@ mod tests {
         let net = s27();
         let cfg = FunctionalBistConfig::smoke();
         let out = generate_unconstrained(&net, &cfg);
-        let spec = fbt_bist::TpgSpec {
+        let spec = TpgSpec {
             lfsr_width: cfg.lfsr_width,
             m: cfg.m,
-            cube: fbt_bist::cube::input_cube(&net),
+            cube: cube::input_cube(&net),
         };
         let mut detected = vec![false; out.faults.len()];
         let mut fsim = PackedParallelSim::new(&net);
@@ -276,6 +198,21 @@ mod tests {
             let tests = functional_tests(&pis, &traj.states);
             fsim.run(&tests, &out.faults, &mut detected);
         }
+        assert_eq!(detected, out.detected);
+    }
+
+    #[test]
+    fn generic_replay_reproduces_detections() {
+        // The engine-level replay (seeds as degenerate single-segment
+        // sequences) must agree with the outcome's detection flags.
+        let net = s27();
+        let cfg = FunctionalBistConfig::smoke();
+        let out = generate_unconstrained(&net, &cfg);
+        let tests = out.replay_tests(&net, &cfg);
+        assert_eq!(tests.len(), out.tests_applied);
+        let mut detected = vec![false; out.faults.len()];
+        let mut fsim = PackedParallelSim::new(&net);
+        fsim.run(&tests, &out.faults, &mut detected);
         assert_eq!(detected, out.detected);
     }
 

@@ -1,0 +1,221 @@
+//! Golden-outcome regression fixtures for the three Chapter-4 generation
+//! modes.
+//!
+//! For s27, s298 and s344 this suite renders a deterministic JSON summary of
+//! each mode's outcome — coverage, seeds, segment lengths, detection count
+//! and the deterministic `GenerationStats` counters — and diffs it
+//! *byte-exact* against a committed fixture. The fixtures were generated
+//! from the pre-`GenerationEngine` implementations of the loops, so any
+//! behavioral drift in the refactored engine fails this suite.
+//!
+//! Semantic outcome fields must be identical for every speculation setting;
+//! the batch-dependent counters (`evals`, `wasted_evals`, `fsim_calls`,
+//! `sim_cycles`) are pinned per batch size and must be independent of the
+//! thread count. Both properties are asserted across
+//! batch {1, 4, 16} × threads {1, 2, 8}.
+//!
+//! Regenerate with:
+//! `FBT_GOLDEN_REGEN=1 cargo test -p fbt-core --test golden_ch4`
+
+use std::fmt::Write as _;
+
+use fbt_core::driver::{swafunc, DrivingBlock};
+use fbt_core::{
+    generate_constrained, generate_unconstrained, improve_with_holding, ConstrainedOutcome,
+    FunctionalBistConfig, GenerationOutcome, GenerationStats, HoldingOutcome, SearchOptions,
+};
+use fbt_netlist::{s27, synth, Netlist};
+
+const BATCHES: [usize; 3] = [1, 4, 16];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn circuits() -> Vec<(&'static str, Netlist)> {
+    vec![
+        ("s27", s27()),
+        ("s298", synth::generate(&synth::find("s298").unwrap())),
+        ("s344", synth::generate(&synth::find("s344").unwrap())),
+    ]
+}
+
+fn cfg_with(batch: usize, threads: usize) -> FunctionalBistConfig {
+    FunctionalBistConfig {
+        search: SearchOptions { batch, threads },
+        ..FunctionalBistConfig::smoke()
+    }
+}
+
+/// The deterministic counters of [`GenerationStats`] (wall times excluded:
+/// they are measurements, not semantics).
+fn stats_json(s: &GenerationStats) -> String {
+    format!(
+        "{{\"seeds_tried\":{},\"seeds_kept\":{},\"evals\":{},\"wasted_evals\":{},\
+         \"fsim_calls\":{},\"faults_skipped_lint\":{},\"sim_cycles\":{}}}",
+        s.seeds_tried,
+        s.seeds_kept,
+        s.evals,
+        s.wasted_evals,
+        s.fsim_calls,
+        s.faults_skipped_lint,
+        s.sim_cycles,
+    )
+}
+
+fn detected_count(detected: &[bool]) -> usize {
+    detected.iter().filter(|&&d| d).count()
+}
+
+/// Semantic summary of an unconstrained outcome — identical for every
+/// speculation setting.
+fn unconstrained_json(out: &GenerationOutcome) -> String {
+    let seeds: Vec<String> = out.seeds.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"coverage\":{},\"num_detected\":{},\"num_faults\":{},\"seeds\":[{}],\
+         \"tests_applied\":{},\"peak_swa\":{}}}",
+        out.fault_coverage(),
+        out.num_detected(),
+        out.faults.len(),
+        seeds.join(","),
+        out.tests_applied,
+        out.peak_swa,
+    )
+}
+
+/// Semantic summary of a constrained outcome.
+fn constrained_json(out: &ConstrainedOutcome) -> String {
+    let seqs: Vec<String> = out
+        .sequences
+        .iter()
+        .map(|s| {
+            let segs: Vec<String> = s
+                .segments
+                .iter()
+                .map(|g| format!("[{},{}]", g.seed, g.len))
+                .collect();
+            format!("[{}]", segs.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"coverage\":{},\"num_detected\":{},\"nmulti\":{},\"nsegmax\":{},\"lmax\":{},\
+         \"nseeds\":{},\"sequences\":[{}],\"tests_applied\":{},\"peak_swa\":{}}}",
+        out.fault_coverage(),
+        out.num_detected(),
+        out.nmulti(),
+        out.nsegmax(),
+        out.lmax(),
+        out.nseeds(),
+        seqs.join(","),
+        out.tests_applied,
+        out.peak_swa,
+    )
+}
+
+/// Semantic summary of a holding outcome.
+fn holding_json(out: &HoldingOutcome) -> String {
+    let sets: Vec<String> = out
+        .sets
+        .iter()
+        .map(|s| {
+            let m: Vec<String> = s.members.iter().map(usize::to_string).collect();
+            format!("[{}]", m.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"base_coverage\":{},\"final_coverage\":{},\"num_detected\":{},\"nh\":{},\
+         \"nbits\":{},\"nseeds\":{},\"sets\":[{}],\"tests_applied\":{},\"peak_swa\":{}}}",
+        out.base_coverage,
+        out.final_coverage(),
+        detected_count(&out.detected),
+        out.sets.len(),
+        out.nbits(),
+        out.nseeds(),
+        sets.join(","),
+        out.tests_applied,
+        out.peak_swa,
+    )
+}
+
+/// Build the full golden document for one circuit: semantic summaries from
+/// the serial run plus per-batch deterministic counters, asserting along the
+/// way that every batch/thread combination agrees.
+fn golden_document(name: &str, net: &Netlist) -> String {
+    let serial = cfg_with(1, 1);
+    let bound = swafunc(net, &DrivingBlock::Buffers, &serial);
+    // A deliberately tightened bound so holding has faults left to chase.
+    let hold_bound = bound * 0.75;
+
+    let u_ref = generate_unconstrained(net, &serial);
+    let c_ref = generate_constrained(net, bound, &serial);
+    let b_ref = generate_constrained(net, hold_bound, &serial);
+    let h_ref = improve_with_holding(net, hold_bound, &serial, &b_ref);
+
+    let mut per_batch = String::new();
+    for (bi, &batch) in BATCHES.iter().enumerate() {
+        let mut batch_stats: Option<(String, String, String)> = None;
+        for &threads in &THREADS {
+            let cfg = cfg_with(batch, threads);
+            let label = format!("{name} batch={batch} threads={threads}");
+
+            let u = generate_unconstrained(net, &cfg);
+            assert_eq!(
+                unconstrained_json(&u),
+                unconstrained_json(&u_ref),
+                "{label}"
+            );
+            let c = generate_constrained(net, bound, &cfg);
+            assert_eq!(constrained_json(&c), constrained_json(&c_ref), "{label}");
+            let b = generate_constrained(net, hold_bound, &cfg);
+            let h = improve_with_holding(net, hold_bound, &cfg, &b);
+            assert_eq!(holding_json(&h), holding_json(&h_ref), "{label}");
+
+            let triple = (
+                stats_json(&u.stats),
+                stats_json(&c.stats),
+                stats_json(&h.stats),
+            );
+            match &batch_stats {
+                // Counters must be thread-independent for a fixed batch.
+                Some(first) => assert_eq!(first, &triple, "{label}: counters vary with threads"),
+                None => batch_stats = Some(triple),
+            }
+        }
+        let (us, cs, hs) = batch_stats.unwrap();
+        if bi > 0 {
+            per_batch.push(',');
+        }
+        write!(
+            per_batch,
+            "{{\"batch\":{batch},\"unconstrained\":{us},\"constrained\":{cs},\"holding\":{hs}}}"
+        )
+        .unwrap();
+    }
+
+    format!(
+        "{{\"circuit\":\"{name}\",\"config\":\"smoke\",\"swafunc\":{bound},\
+         \"holding_bound\":{hold_bound},\n\"unconstrained\":{},\n\"constrained\":{},\n\
+         \"holding\":{},\n\"stats_per_batch\":[{per_batch}]}}\n",
+        unconstrained_json(&u_ref),
+        constrained_json(&c_ref),
+        holding_json(&h_ref),
+    )
+}
+
+#[test]
+fn golden_outcomes_match_committed_fixtures() {
+    let regen = std::env::var("FBT_GOLDEN_REGEN").is_ok();
+    for (name, net) in circuits() {
+        let doc = golden_document(name, &net);
+        let path = format!("{}/tests/golden/{name}.json", env!("CARGO_MANIFEST_DIR"));
+        if regen {
+            std::fs::write(&path, &doc).expect("write golden fixture");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden fixture {path}: {e}"));
+        assert_eq!(
+            doc, expected,
+            "{name}: outcome drifted from the committed golden fixture \
+             (regenerate deliberately with FBT_GOLDEN_REGEN=1 only if the \
+             change is intended)"
+        );
+    }
+}

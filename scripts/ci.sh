@@ -66,12 +66,26 @@ rm -f "${lint_out}"
     s27 s298 s344 s349 s382 s386 s444 s510 s526 s641 s713 \
     s820 s832 s953 s1196 s1238 s1488 s1494 > /dev/null 2>&1
 
+echo "== golden Chapter-4 outcomes (bit-identity vs committed fixtures) =="
+# The three generation modes must reproduce the committed pre-engine
+# fixtures byte-exactly across batch/thread combinations.
+cargo test --release -q -p fbt-core --test golden_ch4
+cargo test --release -q -p fbt-core --test speculative_determinism
+
 echo "== bench_ch4 smoke (speculative search stats + JSON) =="
-# One small constrained generation with stats printing; the run itself
-# asserts serial and speculative modes reach identical coverage.
+# One small constrained generation with stats printing (restricted to one
+# circuit via the filter argument); the run itself asserts serial and
+# speculative modes reach identical coverage, and the JSON summary must
+# record the unified engine it was measured on.
 bench_json=$(mktemp)
-BENCH_CH4_OUT="${bench_json}" cargo run --release -q -p fbt-bench --bin bench_ch4 smoke
+BENCH_CH4_OUT="${bench_json}" cargo run --release -q -p fbt-bench --bin bench_ch4 smoke spi
 python3 -m json.tool "${bench_json}" > /dev/null
+python3 - "${bench_json}" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d.get("engine") == "unified", f"missing/stale engine field: {d.get('engine')!r}"
+assert all(e["circuit"] == "spi" for e in d["entries"]), "circuit filter ignored"
+EOF
 rm -f "${bench_json}"
 
 echo "== bench_sat smoke (CDCL solver stats + JSON) =="
