@@ -14,7 +14,7 @@
 //! Both preserve fault coverage exactly.
 
 use fbt_fault::{BroadsideTest, TransitionFault};
-use fbt_fault::{FaultSimEngine, PackedParallelSim, SerialSim};
+use fbt_fault::{FaultSimEngine, FaultSimOptions, PackedParallelSim, SerialSim, TestSet};
 use fbt_netlist::Netlist;
 
 /// Reverse-order compaction: indices (in increasing order) of the kept
@@ -28,7 +28,14 @@ pub fn reverse_order(
     let mut detected = vec![false; faults.len()];
     let mut kept = Vec::new();
     for i in (0..tests.len()).rev() {
-        let newly = fsim.run(std::slice::from_ref(&tests[i]), faults, &mut detected);
+        let newly = fsim
+            .simulate(
+                TestSet::Broadside(std::slice::from_ref(&tests[i])),
+                faults,
+                &mut detected,
+                &FaultSimOptions::new(),
+            )
+            .newly_detected;
         if newly > 0 {
             kept.push(i);
         }
@@ -104,7 +111,12 @@ pub fn subset_coverage(
     let mut fsim = PackedParallelSim::new(net);
     let mut detected = vec![false; faults.len()];
     let selected: Vec<BroadsideTest> = subset.iter().map(|&i| tests[i].clone()).collect();
-    fsim.run(&selected, faults, &mut detected);
+    fsim.simulate(
+        TestSet::Broadside(&selected),
+        faults,
+        &mut detected,
+        &FaultSimOptions::new(),
+    );
     detected.iter().filter(|&&d| d).count()
 }
 

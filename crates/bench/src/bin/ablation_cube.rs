@@ -5,7 +5,7 @@
 use fbt_bench::{pct, Scale, Table};
 use fbt_bist::{cube, Tpg, TpgSpec};
 use fbt_fault::{all_transition_faults, collapse};
-use fbt_fault::{FaultSimEngine, PackedParallelSim};
+use fbt_fault::{FaultSimEngine, FaultSimOptions, PackedParallelSim, TestSet};
 use fbt_netlist::rng::Rng;
 use fbt_sim::seq::simulate_sequence;
 use fbt_sim::{Bits, Trit};
@@ -37,7 +37,12 @@ fn main() {
                 let pis = Tpg::new(spec.clone(), rng.next_u64()).sequence(cfg.seq_len);
                 let traj = simulate_sequence(&net, &zero, &pis);
                 let tests = fbt_core::extract::functional_tests(&pis, &traj.states);
-                fsim.run(&tests, &faults, &mut detected);
+                fsim.simulate(
+                    TestSet::Broadside(&tests),
+                    &faults,
+                    &mut detected,
+                    &FaultSimOptions::new(),
+                );
             }
             fbt_fault::sim::coverage_percent(&detected)
         };

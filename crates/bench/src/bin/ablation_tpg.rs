@@ -9,7 +9,7 @@
 use fbt_bench::{pct, Scale, Table};
 use fbt_bist::{cube, Tpg, Tpg73, TpgSpec, WeightedTpg};
 use fbt_fault::{all_transition_faults, collapse};
-use fbt_fault::{FaultSimEngine, PackedParallelSim};
+use fbt_fault::{FaultSimEngine, FaultSimOptions, PackedParallelSim, TestSet};
 use fbt_netlist::rng::Rng;
 use fbt_sim::seq::simulate_sequence;
 use fbt_sim::Bits;
@@ -44,7 +44,12 @@ fn main() {
                 let traj = simulate_sequence(&net, &zero, &pis);
                 let tests = fbt_core::extract::functional_tests(&pis, &traj.states);
                 ntests += tests.len();
-                fsim.run(&tests, &faults, &mut detected);
+                fsim.simulate(
+                    TestSet::Broadside(&tests),
+                    &faults,
+                    &mut detected,
+                    &FaultSimOptions::new(),
+                );
             }
             t.row(vec![
                 net.name().to_string(),

@@ -7,7 +7,7 @@ use fbt_bench::{pct, Scale, Table};
 use fbt_bist::{cube, Tpg, TpgSpec};
 use fbt_core::domains::{classify_faults, domain_tests, round_robin, simulate_multi_rate};
 use fbt_fault::{all_transition_faults, collapse};
-use fbt_fault::{FaultSimEngine, PackedParallelSim};
+use fbt_fault::{FaultSimEngine, FaultSimOptions, PackedParallelSim, TestSet};
 use fbt_netlist::rng::Rng;
 use fbt_sim::Bits;
 
@@ -49,7 +49,12 @@ fn main() {
                 for d in 0..n_domains {
                     let tests = domain_tests(&domains, d, &pis, &traj);
                     ntests += tests.len();
-                    fsim.run_two_pattern(&tests, &faults, &mut detected);
+                    fsim.simulate(
+                        TestSet::TwoPattern(&tests),
+                        &faults,
+                        &mut detected,
+                        &FaultSimOptions::new(),
+                    );
                 }
             }
             t.row(vec![

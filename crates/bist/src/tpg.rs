@@ -109,8 +109,12 @@ impl Tpg {
     }
 
     fn fill_shift_register(&mut self) {
-        for _ in 0..self.shift_reg.len() {
-            self.shift_once();
+        // Equivalent to `shift_register_len()` calls of `shift_once` (after
+        // which `reg[j]` holds the `(n-1-j)`-th LFSR output), without the
+        // quadratic per-shift rotation.
+        let n = self.shift_reg.len();
+        for j in 0..n {
+            self.shift_reg[n - 1 - j] = self.lfsr.step();
         }
     }
 
@@ -123,22 +127,132 @@ impl Tpg {
     /// Advance one clock and produce the primary-input vector for this cycle.
     pub fn next_vector(&mut self) -> Bits {
         self.shift_once();
-        let mut out = Bits::zeros(self.spec.num_inputs());
-        for (i, (&c, &(start, width))) in self.spec.cube.iter().zip(&self.alloc).enumerate() {
-            let bits = &self.shift_reg[start..start + width];
-            let v = match c {
-                Trit::X => bits[0],
-                Trit::Zero => bits.iter().all(|&b| b), // m-input AND
-                Trit::One => bits.iter().any(|&b| b),  // m-input OR
-            };
-            out.set(i, v);
-        }
-        out
+        let shift_reg = &self.shift_reg;
+        self.spec
+            .cube
+            .iter()
+            .zip(&self.alloc)
+            .map(|(&c, &(start, width))| {
+                let bits = &shift_reg[start..start + width];
+                match c {
+                    Trit::X => bits[0],
+                    Trit::Zero => bits.iter().all(|&b| b), // m-input AND
+                    Trit::One => bits.iter().any(|&b| b),  // m-input OR
+                }
+            })
+            .collect()
     }
 
     /// Generate a primary-input sequence of length `len`.
+    ///
+    /// Equivalent to `len` calls of [`Tpg::next_vector`] (same vectors, same
+    /// final TPG state), but computed from a single packed LFSR bitstream so
+    /// the per-cycle shift-register rotation disappears. The register after
+    /// `t + 1` shifts holds `reg[j] = stream[shifts - 1 - j]`, so input bit
+    /// reads become sliding-window field extractions on the stream.
     pub fn sequence(&mut self, len: usize) -> Vec<Bits> {
-        (0..len).map(|_| self.next_vector()).collect()
+        let n = self.shift_reg.len();
+        let total = n + len;
+        let mut stream = vec![0u64; total.div_ceil(64).max(1)];
+        // Local stream indexing: bits 0..n are the current register contents
+        // (oldest first), bits n.. are future LFSR output.
+        for j in 0..n {
+            if self.shift_reg[n - 1 - j] {
+                stream[j / 64] |= 1 << (j % 64);
+            }
+        }
+        for j in n..total {
+            if self.lfsr.step() {
+                stream[j / 64] |= 1 << (j % 64);
+            }
+        }
+        let bit = |i: usize| (stream[i / 64] >> (i % 64)) & 1 == 1;
+        // Bits `[hi - w + 1 ..= hi]` of the stream as a `w`-bit field.
+        let field = |hi: usize, w: usize| -> u64 {
+            let lo = hi + 1 - w;
+            let (wi, sh) = (lo / 64, lo % 64);
+            let mut f = stream[wi] >> sh;
+            if sh != 0 && wi + 1 < stream.len() {
+                f |= stream[wi + 1] << (64 - sh);
+            }
+            if w == 64 {
+                f
+            } else {
+                f & ((1u64 << w) - 1)
+            }
+        };
+        // Unspecified inputs are single shift-register bits at consecutive
+        // positions, so a run of them is a bit-reversed stream window: one
+        // field extraction + `reverse_bits` covers up to 64 inputs at once.
+        enum Run {
+            /// `w` consecutive X inputs at PI positions `out..out + w`,
+            /// reading register positions `s0..s0 + w`.
+            X { out: usize, w: usize, s0: usize },
+            /// One biased input: an AND (`one == false`) or OR over register
+            /// positions `s..s + w`.
+            Biased {
+                out: usize,
+                s: usize,
+                w: usize,
+                one: bool,
+            },
+        }
+        let mut runs: Vec<Run> = Vec::new();
+        for (i, (&c, &(start, width))) in self.spec.cube.iter().zip(&self.alloc).enumerate() {
+            match c {
+                Trit::X => match runs.last_mut() {
+                    Some(Run::X { out, w, .. }) if *out + *w == i && *w < 64 => *w += 1,
+                    _ => runs.push(Run::X {
+                        out: i,
+                        w: 1,
+                        s0: start,
+                    }),
+                },
+                Trit::Zero | Trit::One => runs.push(Run::Biased {
+                    out: i,
+                    s: start,
+                    w: width,
+                    one: c == Trit::One,
+                }),
+            }
+        }
+        let npi = self.spec.num_inputs();
+        let out: Vec<Bits> = (0..len)
+            .map(|t| {
+                let mut words = vec![0u64; npi.div_ceil(64)];
+                for run in &runs {
+                    match *run {
+                        Run::X { out, w, s0 } => {
+                            // After cycle `t`, reg[j] = stream[n + t - j], so
+                            // PI bit `out + j` = stream[n + t - s0 - j]: the
+                            // reverse of the field topped at `n + t - s0`.
+                            let f = field(n + t - s0, w);
+                            let v = f.reverse_bits() >> (64 - w);
+                            let sh = out % 64;
+                            words[out / 64] |= v << sh;
+                            if sh + w > 64 {
+                                words[out / 64 + 1] |= v >> (64 - sh);
+                            }
+                        }
+                        Run::Biased { out, s, w, one } => {
+                            let f = field(n + t - s, w);
+                            let mask = if w == 64 { !0u64 } else { (1u64 << w) - 1 };
+                            let v = if one { f != 0 } else { f == mask };
+                            if v {
+                                words[out / 64] |= 1 << (out % 64);
+                            }
+                        }
+                    }
+                }
+                Bits::from_words(words, npi)
+            })
+            .collect();
+        // Restore the step-wise invariant: the register ends as if
+        // `next_vector` had been called `len` times.
+        for j in 0..n {
+            self.shift_reg[j] = bit(n + len - 1 - j);
+        }
+        out
     }
 }
 
@@ -151,6 +265,40 @@ mod tests {
         let spec = TpgSpec::standard(vec![Trit::Zero, Trit::X, Trit::One, Trit::X, Trit::X]);
         // NSP = 2, NPI = 5, m = 3 -> 3*2 + 3 = 9.
         assert_eq!(spec.shift_register_len(), 9);
+    }
+
+    #[test]
+    fn sequence_matches_stepwise_next_vector() {
+        // The stream-based fast path must produce the exact vectors of
+        // repeated `next_vector` calls AND leave the TPG in the same state,
+        // so interleaving the two APIs stays well-defined.
+        let cube = vec![
+            Trit::X,
+            Trit::One,
+            Trit::Zero,
+            Trit::X,
+            Trit::Zero,
+            Trit::X,
+            Trit::One,
+        ];
+        // A wide cube too: X-runs longer than 64 cross both output-word and
+        // stream-word boundaries.
+        let mut wide = vec![Trit::X; 130];
+        wide[70] = Trit::One;
+        wide[128] = Trit::Zero;
+        for cube in [cube, wide] {
+            for seed in [1u64, 0xACE1, u64::MAX] {
+                let mut fast = Tpg::new(TpgSpec::standard(cube.clone()), seed);
+                let mut slow = Tpg::new(TpgSpec::standard(cube.clone()), seed);
+                for len in [0usize, 1, 5, 70, 130] {
+                    let s = fast.sequence(len);
+                    let reference: Vec<Bits> = (0..len).map(|_| slow.next_vector()).collect();
+                    assert_eq!(s, reference, "seed {seed:#x} len {len}");
+                    // Same state afterwards: the next vector must also agree.
+                    assert_eq!(fast.next_vector(), slow.next_vector(), "post-state");
+                }
+            }
+        }
     }
 
     #[test]

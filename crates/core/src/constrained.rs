@@ -240,7 +240,7 @@ mod tests {
     use super::*;
     use crate::driver::{swafunc as compute_swafunc, DrivingBlock};
     use crate::SearchOptions;
-    use fbt_fault::{FaultSimEngine, PackedParallelSim};
+    use fbt_fault::{FaultSimEngine, FaultSimOptions, PackedParallelSim, TestSet};
     use fbt_netlist::{s27, synth};
 
     #[test]
@@ -312,7 +312,12 @@ mod tests {
         assert_eq!(tests.len(), out.tests_applied);
         let mut detected = vec![false; out.faults.len()];
         let mut fsim = PackedParallelSim::new(&net);
-        fsim.run(&tests, &out.faults, &mut detected);
+        fsim.simulate(
+            TestSet::Broadside(&tests),
+            &out.faults,
+            &mut detected,
+            &FaultSimOptions::new(),
+        );
         assert_eq!(detected, out.detected);
     }
 
@@ -356,7 +361,12 @@ mod tests {
         assert_eq!(tests.len(), out.tests_applied);
         let mut detected = vec![false; out.faults.len()];
         let mut fsim = PackedParallelSim::new(&net);
-        fsim.run(&tests, &out.faults, &mut detected);
+        fsim.simulate(
+            TestSet::Broadside(&tests),
+            &out.faults,
+            &mut detected,
+            &FaultSimOptions::new(),
+        );
         assert_eq!(detected, out.detected);
     }
 
@@ -420,7 +430,11 @@ mod tests {
         let reference = generate_constrained(&net, bound, &serial_cfg);
         for (batch, threads) in [(2, 1), (4, 2), (16, 8)] {
             let cfg = FunctionalBistConfig {
-                search: SearchOptions { batch, threads },
+                search: SearchOptions {
+                    batch,
+                    threads,
+                    packed: true,
+                },
                 ..FunctionalBistConfig::smoke()
             };
             let out = generate_constrained(&net, bound, &cfg);

@@ -7,7 +7,7 @@
 //! shape of this curve; exposing it lets a user pick a budget and lets the
 //! experiments show saturation explicitly.
 
-use fbt_fault::{FaultSimEngine, PackedParallelSim};
+use fbt_fault::{FaultSimEngine, FaultSimOptions, PackedParallelSim, TestSet};
 use fbt_netlist::Netlist;
 
 use crate::constrained::{replay_tests, ConstrainedOutcome};
@@ -47,7 +47,12 @@ pub fn coverage_curve(
     });
     let mut applied = 0usize;
     for chunk in tests.chunks(stride) {
-        fsim.run(chunk, &outcome.faults, &mut detected);
+        fsim.simulate(
+            TestSet::Broadside(chunk),
+            &outcome.faults,
+            &mut detected,
+            &FaultSimOptions::new(),
+        );
         applied += chunk.len();
         curve.push(CurvePoint {
             tests: applied,

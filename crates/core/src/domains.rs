@@ -309,9 +309,14 @@ mod tests {
         let tests = domain_tests(&domains, 0, &p, &traj);
         let faults = all_transition_faults(&net);
         let mut detected = vec![false; faults.len()];
-        use fbt_fault::FaultSimEngine;
+        use fbt_fault::{FaultSimEngine, FaultSimOptions, TestSet};
         let mut fsim = fbt_fault::SerialSim::new(&net);
-        fsim.run_two_pattern(&tests, &faults, &mut detected);
+        fsim.simulate(
+            TestSet::TwoPattern(&tests),
+            &faults,
+            &mut detected,
+            &FaultSimOptions::new(),
+        );
         assert!(detected.iter().any(|&d| d));
     }
 

@@ -27,9 +27,12 @@ use std::time::Instant;
 
 use fbt_bist::{cube, Tpg, TpgSpec, Weight, WeightedTpg};
 use fbt_fault::{all_transition_faults, collapse, TransitionFault};
-use fbt_fault::{BroadsideTest, FaultSimEngine, FaultSimOptions, TestSet, TwoPatternTest};
+use fbt_fault::{
+    BroadsideTest, FaultSimEngine, FaultSimOptions, TestGroup, TestSet, TwoPatternTest,
+};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
+use fbt_sim::lanes::{extract_lane, LaneSeqSim};
 use fbt_sim::seq::{simulate_sequence, SeqSim};
 use fbt_sim::Bits;
 
@@ -123,6 +126,16 @@ pub enum StateOverlay {
 }
 
 impl StateOverlay {
+    /// The hold mask in force at clock cycle `c`, if any — the single
+    /// definition of the §4.5 hold schedule, shared by
+    /// [`StateOverlay::simulate`] and the multi-lane candidate-packed path.
+    pub fn hold_mask_at(&self, c: usize) -> Option<&Bits> {
+        match self {
+            StateOverlay::Identity => None,
+            StateOverlay::Hold { mask, h } => (c as u64 & ((1 << h) - 1) == 0).then_some(mask),
+        }
+    }
+
     /// Apply `pis` from `start` and return the traversed states
     /// (`pis.len() + 1` entries) and per-cycle switching activities.
     pub fn simulate(
@@ -136,14 +149,13 @@ impl StateOverlay {
                 let traj = simulate_sequence(net, start, pis);
                 (traj.states, traj.swa)
             }
-            StateOverlay::Hold { mask, h } => {
+            StateOverlay::Hold { .. } => {
                 let mut sim = SeqSim::new(net, start);
                 let mut states = Vec::with_capacity(pis.len() + 1);
                 let mut swa = Vec::with_capacity(pis.len());
                 states.push(start.clone());
                 for (c, pi) in pis.iter().enumerate() {
-                    let hold = (c as u64 & ((1 << h) - 1) == 0).then_some(mask);
-                    let r = sim.step_holding(pi, hold);
+                    let r = sim.step_holding(pi, self.hold_mask_at(c));
                     states.push(r.next_state);
                     swa.push(r.switching_activity);
                 }
@@ -453,6 +465,12 @@ impl<'n> GenerationEngine<'n> {
             ..GenerationStats::default()
         };
 
+        // The candidate-packed fast path needs the policy to derive each
+        // lane's prefix from its switching-activity trace; policies that
+        // probe per-cycle node values (e.g. signal-transition patterns)
+        // keep the legacy per-candidate passes.
+        let use_packed = cfg.search.packed && policy.admissible_prefix_from_trace(&[], 0).is_some();
+
         let mut sequences: Vec<MultiSegmentSequence> = Vec::new();
         let mut kept: Vec<KeptSegment> = Vec::new();
         let mut tests_applied = 0usize;
@@ -473,57 +491,80 @@ impl<'n> GenerationEngine<'n> {
                 let batch = queue.draw(rng, cfg.search.batch);
                 let snapshot: &[bool] = detected;
                 let start = &cur_state;
-                let evals = evaluator.run(&batch, |engine, seed| {
-                    let pis = source.expand(seed, cfg.seq_len);
-                    let len = policy.admissible_prefix(net, start, &pis, overlay);
-                    if len < 2 {
-                        return Candidate {
-                            len,
-                            tests: overlay.empty_tests(),
-                            newly: Vec::new(),
-                            peak_swa: 0.0,
-                            next_state: None,
-                            cycles: policy.probe_cycles(cfg.seq_len),
+                let evals = if use_packed {
+                    packed_round(
+                        net,
+                        cfg,
+                        source,
+                        policy,
+                        overlay,
+                        &batch,
+                        start,
+                        snapshot,
+                        active_faults,
+                        active_idx,
+                        evaluator,
+                    )
+                } else {
+                    evaluator.run(&batch, |engine, seed| {
+                        let pis = source.expand(seed, cfg.seq_len);
+                        let len = policy.admissible_prefix(net, start, &pis, overlay);
+                        if len < 2 {
+                            return Candidate {
+                                len,
+                                tests: overlay.empty_tests(),
+                                newly: Vec::new(),
+                                peak_swa: 0.0,
+                                next_state: None,
+                                cycles: policy.probe_cycles(cfg.seq_len),
+                            };
+                        }
+                        let prefix = &pis[..len];
+                        let (states, swa) = overlay.simulate(net, start, prefix);
+                        let tests = overlay.extract_tests(prefix, &states);
+                        // Simulate only the lint-surviving faults; report newly
+                        // detected ones as indices into the full list.
+                        let mut local: Vec<bool> =
+                            active_idx.iter().map(|&i| snapshot[i]).collect();
+                        let newly = engine
+                            .simulate(
+                                tests.as_set(),
+                                active_faults,
+                                &mut local,
+                                &FaultSimOptions::new().threads(inner),
+                            )
+                            .newly_detected;
+                        let newly = if newly > 0 {
+                            (0..local.len())
+                                .filter(|&j| local[j] && !snapshot[active_idx[j]])
+                                .map(|j| active_idx[j])
+                                .collect()
+                        } else {
+                            Vec::new()
                         };
-                    }
-                    let prefix = &pis[..len];
-                    let (states, swa) = overlay.simulate(net, start, prefix);
-                    let tests = overlay.extract_tests(prefix, &states);
-                    // Simulate only the lint-surviving faults; report newly
-                    // detected ones as indices into the full list.
-                    let mut local: Vec<bool> = active_idx.iter().map(|&i| snapshot[i]).collect();
-                    let newly = engine
-                        .simulate(
-                            tests.as_set(),
-                            active_faults,
-                            &mut local,
-                            &FaultSimOptions::new().threads(inner),
-                        )
-                        .newly_detected;
-                    let newly = if newly > 0 {
-                        (0..local.len())
-                            .filter(|&j| local[j] && !snapshot[active_idx[j]])
-                            .map(|j| active_idx[j])
-                            .collect()
-                    } else {
-                        Vec::new()
-                    };
-                    Candidate {
-                        len,
-                        tests,
-                        newly,
-                        peak_swa: swa.iter().flatten().fold(0.0f64, |a, &b| a.max(b)),
-                        next_state: Some(states[len].clone()),
-                        cycles: policy.probe_cycles(cfg.seq_len) + len,
-                    }
-                });
+                        Candidate {
+                            len,
+                            tests,
+                            newly,
+                            peak_swa: swa.iter().flatten().fold(0.0f64, |a, &b| a.max(b)),
+                            next_state: Some(states[len].clone()),
+                            cycles: policy.probe_cycles(cfg.seq_len) + len,
+                        }
+                    })
+                };
                 stats.evals += evals.len();
                 for ev in &evals {
                     stats.sim_cycles += ev.cycles;
-                    if ev.len >= 2 {
-                        stats.fsim_calls += 1;
-                    }
                 }
+                // One group per fault-simulated candidate; the packed path
+                // submits the whole round as a single engine invocation.
+                let n_groups = evals.iter().filter(|e| e.len >= 2).count();
+                stats.candidate_groups += n_groups;
+                stats.fsim_calls += if use_packed {
+                    usize::from(n_groups > 0)
+                } else {
+                    n_groups
+                };
                 for (k, cand) in evals.into_iter().enumerate() {
                     if seed_failures >= opts.r_limit || seeds_tried >= cfg.max_seeds {
                         queue.requeue(&batch[k..]);
@@ -617,6 +658,7 @@ impl<'n> GenerationEngine<'n> {
                 )
                 .newly_detected;
             stats.fsim_calls += 1;
+            stats.candidate_groups += 1;
             if newly > 0 {
                 kept_indices.push(i);
                 tests_applied += seg.tests.len();
@@ -638,6 +680,140 @@ impl<'n> GenerationEngine<'n> {
             peak_swa,
         }
     }
+}
+
+/// One candidate-packed speculative round.
+///
+/// **Stage A** expands every candidate seed and simulates all of them as
+/// lanes of one [`LaneSeqSim`] pass (chunks of 64 for larger batches): a
+/// single levelized evaluation per cycle serves the whole batch, and each
+/// lane's admissible prefix falls out of its switching-activity trace via
+/// [`AdmissibilityPolicy::admissible_prefix_from_trace`].
+///
+/// **Stage B** submits all admissible candidates as one grouped
+/// fault-simulation call: each candidate is an independent [`TestGroup`]
+/// credited against the shared detection snapshot, packed across the
+/// engine's 64 bit-lanes with lane-masked dropping. `until_first_accept`
+/// skips the words past the first accepting group — the commit loop
+/// discards those results anyway (their snapshots are stale).
+///
+/// Per-candidate results are identical to the legacy per-candidate passes:
+/// same prefix lengths, same tests, same newly-detected sets, bit-identical
+/// `peak_swa`, same logical cycle accounting.
+#[allow(clippy::too_many_arguments)]
+fn packed_round<S, P>(
+    net: &Netlist,
+    cfg: &FunctionalBistConfig,
+    source: &S,
+    policy: &P,
+    overlay: &StateOverlay,
+    seeds: &[u64],
+    start: &Bits,
+    snapshot: &[bool],
+    active_faults: &[TransitionFault],
+    active_idx: &[usize],
+    evaluator: &mut BatchEvaluator<'_>,
+) -> Vec<Candidate>
+where
+    S: SeedSource + ?Sized,
+    P: AdmissibilityPolicy + ?Sized,
+{
+    let seq_len = cfg.seq_len;
+    let probe = policy.probe_cycles(seq_len);
+    let mut cands: Vec<Candidate> = Vec::with_capacity(seeds.len());
+    for chunk in seeds.chunks(64) {
+        let lanes = chunk.len();
+        let pis: Vec<Vec<Bits>> = chunk.iter().map(|&s| source.expand(s, seq_len)).collect();
+        let mut sim = LaneSeqSim::new(net, lanes);
+        sim.broadcast_state(start);
+        // One flat buffer for the per-cycle packed states: cycle `c` lives at
+        // `[c * sw .. (c + 1) * sw]`. A single up-front allocation instead of
+        // `seq_len` small vectors per chunk.
+        let sw = sim.state_words().len();
+        let mut state_words: Vec<u64> = Vec::with_capacity(seq_len * sw);
+        let mut swa: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(seq_len); lanes];
+        // `c` indexes the inner (cycle) axis of `pis` inside the closure;
+        // there is no outer slice to iterate.
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..seq_len {
+            sim.step_with(|l| &pis[l][c], overlay.hold_mask_at(c));
+            state_words.extend_from_slice(sim.state_words());
+            match sim.swa() {
+                Some(s) => {
+                    for (l, t) in swa.iter_mut().enumerate() {
+                        t.push(Some(s[l]));
+                    }
+                }
+                None => {
+                    for t in swa.iter_mut() {
+                        t.push(None);
+                    }
+                }
+            }
+        }
+        for (l, seed_pis) in pis.iter().enumerate() {
+            let len = policy
+                .admissible_prefix_from_trace(&swa[l], seq_len)
+                .expect("packed path requires a trace-based policy");
+            if len < 2 {
+                cands.push(Candidate {
+                    len,
+                    tests: overlay.empty_tests(),
+                    newly: Vec::new(),
+                    peak_swa: 0.0,
+                    next_state: None,
+                    cycles: probe,
+                });
+                continue;
+            }
+            // The lane's state trajectory s(0) … s(len).
+            let mut states: Vec<Bits> = Vec::with_capacity(len + 1);
+            states.push(start.clone());
+            for c in 0..len {
+                states.push(extract_lane(&state_words[c * sw..(c + 1) * sw], l));
+            }
+            let prefix = &seed_pis[..len];
+            let tests = overlay.extract_tests(prefix, &states);
+            let peak_swa = swa[l][..len]
+                .iter()
+                .flatten()
+                .fold(0.0f64, |a, &b| a.max(b));
+            cands.push(Candidate {
+                len,
+                tests,
+                newly: Vec::new(),
+                peak_swa,
+                next_state: Some(states[len].clone()),
+                cycles: probe + len,
+            });
+        }
+    }
+
+    let groups: Vec<TestGroup<'_>> = cands
+        .iter()
+        .filter(|c| c.len >= 2)
+        .map(|c| TestGroup::new(c.tests.as_set()))
+        .collect();
+    if groups.is_empty() {
+        return cands;
+    }
+    // Project the snapshot to the lint-surviving faults, exactly like the
+    // legacy per-candidate passes.
+    let base: Vec<bool> = active_idx.iter().map(|&i| snapshot[i]).collect();
+    let outs = evaluator.simulate_groups(
+        &groups,
+        active_faults,
+        &base,
+        &FaultSimOptions::new()
+            .threads(cfg.search.threads)
+            .until_first_accept(true),
+    );
+    let mut it = outs.into_iter();
+    for cand in cands.iter_mut().filter(|c| c.len >= 2) {
+        let out = it.next().expect("one outcome per group");
+        cand.newly = out.newly.iter().map(|&j| active_idx[j]).collect();
+    }
+    cands
 }
 
 /// Replay constructed sequences and return their extracted tests — works

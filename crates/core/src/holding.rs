@@ -423,7 +423,7 @@ mod tests {
     use super::*;
     use crate::driver::{swafunc as compute_swafunc, DrivingBlock};
     use crate::generate_constrained;
-    use fbt_fault::{FaultSimEngine, PackedParallelSim};
+    use fbt_fault::{FaultSimEngine, FaultSimOptions, PackedParallelSim, TestSet};
     use fbt_netlist::s27;
 
     fn base_outcome() -> (
@@ -510,7 +510,12 @@ mod tests {
         assert_eq!(tests.len(), out.tests_applied);
         let mut detected = base.detected.clone();
         let mut fsim = PackedParallelSim::new(&net);
-        fsim.run_two_pattern(&tests, &out.faults, &mut detected);
+        fsim.simulate(
+            TestSet::TwoPattern(&tests),
+            &out.faults,
+            &mut detected,
+            &FaultSimOptions::new(),
+        );
         assert_eq!(detected, out.detected);
     }
 
@@ -561,7 +566,11 @@ mod tests {
         let reference = improve_with_holding(&net, bound, &serial_cfg, &base);
         for (batch, threads) in [(4, 1), (16, 2)] {
             let spec_cfg = FunctionalBistConfig {
-                search: crate::SearchOptions { batch, threads },
+                search: crate::SearchOptions {
+                    batch,
+                    threads,
+                    packed: true,
+                },
                 ..cfg.clone()
             };
             let out = improve_with_holding(&net, bound, &spec_cfg, &base);

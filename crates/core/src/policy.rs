@@ -44,6 +44,21 @@ pub trait AdmissibilityPolicy: Sync {
     fn probe_cycles(&self, seq_len: usize) -> usize {
         seq_len
     }
+
+    /// The admissible prefix as a pure function of a candidate's per-cycle
+    /// switching-activity trace (`total` cycles), or `None` if this policy
+    /// needs more than the trace (e.g. per-cycle node values) and must be
+    /// probed through [`AdmissibilityPolicy::admissible_prefix`].
+    ///
+    /// `Some` enables the candidate-packed fast path of
+    /// [`crate::engine::GenerationEngine::construct`]: the engine simulates
+    /// a whole speculative batch in one multi-lane pass and derives each
+    /// lane's prefix from its trace, so the value returned here must equal
+    /// `admissible_prefix` over the trajectory that produced `swa`.
+    fn admissible_prefix_from_trace(&self, swa: &[Option<f64>], total: usize) -> Option<usize> {
+        let _ = (swa, total);
+        None
+    }
 }
 
 /// The shared truncation geometry: the longest even admissible prefix given
@@ -84,6 +99,10 @@ impl AdmissibilityPolicy for SwaRule {
         let (_, swa) = overlay.simulate(net, start, pis);
         admissible_prefix_from_swa(&swa, pis.len(), self.bound)
     }
+
+    fn admissible_prefix_from_trace(&self, swa: &[Option<f64>], total: usize) -> Option<usize> {
+        Some(admissible_prefix_from_swa(swa, total, self.bound))
+    }
 }
 
 /// No admissibility constraint — the unconstrained method of \[73\] (§4.3).
@@ -105,6 +124,10 @@ impl AdmissibilityPolicy for Unbounded {
 
     fn probe_cycles(&self, _seq_len: usize) -> usize {
         0
+    }
+
+    fn admissible_prefix_from_trace(&self, _swa: &[Option<f64>], total: usize) -> Option<usize> {
+        Some(total & !1usize)
     }
 }
 
@@ -218,6 +241,30 @@ mod tests {
         // Immeasurable cycles (None) never violate.
         let none = vec![None; 6];
         assert_eq!(admissible_prefix_from_swa(&none, 6, 0.0), 6);
+    }
+
+    #[test]
+    fn trace_prefix_agrees_with_the_probe_for_every_trace_policy() {
+        // The candidate-packed fast path derives prefixes from a lane's
+        // switching-activity trace instead of re-probing; the two answers
+        // must coincide for every policy that offers a trace rule.
+        let net = s27();
+        let zero = Bits::zeros(3);
+        let p = pis(30);
+        let traj = simulate_sequence(&net, &zero, &p);
+        for bound in [0.0, 0.05, 0.1, 0.2, 0.35, 0.5, 1.0] {
+            let rule = SwaRule { bound };
+            assert_eq!(
+                rule.admissible_prefix_from_trace(&traj.swa, p.len()),
+                Some(rule.admissible_prefix(&net, &zero, &p, &StateOverlay::Identity)),
+                "bound {bound}"
+            );
+        }
+        assert_eq!(
+            Unbounded.admissible_prefix_from_trace(&traj.swa, p.len()),
+            Some(Unbounded.admissible_prefix(&net, &zero, &p, &StateOverlay::Identity))
+        );
+        assert_eq!(Unbounded.admissible_prefix_from_trace(&[], 13), Some(12));
     }
 
     #[test]

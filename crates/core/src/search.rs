@@ -30,7 +30,9 @@
 
 use std::collections::VecDeque;
 
-use fbt_fault::PackedParallelSim;
+use fbt_fault::{
+    FaultSimEngine, FaultSimOptions, PackedParallelSim, SimOutcome, TestGroup, TransitionFault,
+};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::Netlist;
 
@@ -44,6 +46,13 @@ pub struct SearchOptions {
     /// Worker threads evaluating candidates; `0` resolves to
     /// [`std::thread::available_parallelism`].
     pub threads: usize,
+    /// Evaluate each round as one candidate-packed grouped fault-simulation
+    /// call ([`fbt_fault::FaultSimEngine::simulate_groups`]) instead of one
+    /// scoped-thread PPSFP pass per candidate. Outcomes are bit-identical
+    /// either way; packing only removes the per-candidate pass overhead.
+    /// Ignored (legacy per-candidate passes) for admissibility policies that
+    /// cannot report a prefix from a switching-activity trace.
+    pub packed: bool,
 }
 
 impl Default for SearchOptions {
@@ -51,22 +60,29 @@ impl Default for SearchOptions {
         SearchOptions {
             batch: 1,
             threads: 0,
+            packed: true,
         }
     }
 }
 
 impl SearchOptions {
-    /// A serial search (batch of one, one thread).
+    /// A serial search (batch of one, one thread, per-candidate passes).
     pub fn serial() -> Self {
         SearchOptions {
             batch: 1,
             threads: 1,
+            packed: false,
         }
     }
 
-    /// A speculative search with the given batch size and automatic threads.
+    /// A speculative search with the given batch size, automatic threads and
+    /// candidate packing.
     pub fn speculative(batch: usize) -> Self {
-        SearchOptions { batch, threads: 0 }
+        SearchOptions {
+            batch,
+            threads: 0,
+            packed: true,
+        }
     }
 
     /// The thread count resolved against the machine.
@@ -160,6 +176,22 @@ impl<'n> BatchEvaluator<'n> {
         &mut self.engines[0]
     }
 
+    /// Submit one speculative round as a single candidate-packed grouped
+    /// call on the primary engine: every candidate is one [`TestGroup`]
+    /// with its own detection credit against the shared `baseline`, and the
+    /// engine packs tests from different groups into the same 64-lane
+    /// words. The engine's own fault-sharded threading replaces the scoped
+    /// per-candidate workers of [`BatchEvaluator::run`].
+    pub(crate) fn simulate_groups(
+        &mut self,
+        groups: &[TestGroup<'_>],
+        faults: &[TransitionFault],
+        baseline: &[bool],
+        opts: &FaultSimOptions,
+    ) -> Vec<SimOutcome> {
+        self.engines[0].simulate_groups(groups, faults, baseline, opts)
+    }
+
     /// Evaluate `seeds` with `f`, returning results in seed order.
     ///
     /// `f` must be a pure function of the seed and whatever immutable
@@ -227,7 +259,11 @@ mod tests {
         let net = s27();
         let seeds: Vec<u64> = (0..23).collect();
         for threads in [1, 2, 8] {
-            let opts = SearchOptions { batch: 8, threads };
+            let opts = SearchOptions {
+                batch: 8,
+                threads,
+                packed: false,
+            };
             let mut ev = BatchEvaluator::new(&net, &opts);
             let out = ev.run(&seeds, |_, s| s * 3);
             assert_eq!(out, seeds.iter().map(|s| s * 3).collect::<Vec<_>>());
@@ -248,6 +284,7 @@ mod tests {
         SearchOptions {
             batch: 0,
             threads: 1,
+            packed: false,
         }
         .validate();
     }

@@ -22,8 +22,15 @@ pub struct GenerationStats {
     /// Evaluations whose results were discarded because an earlier
     /// candidate in the round committed first (`evals - seeds_tried`).
     pub wasted_evals: usize,
-    /// Fault-simulation engine invocations.
+    /// Fault-simulation engine invocations actually issued. On the
+    /// candidate-packed path one grouped call evaluates a whole speculative
+    /// round, so this is far below [`GenerationStats::candidate_groups`];
+    /// on the legacy per-candidate path the two counters are equal.
     pub fsim_calls: usize,
+    /// Candidate test groups submitted to fault simulation (one per
+    /// fault-simulated candidate, regardless of how the calls were
+    /// batched). This is the counter `fsim_calls` used to conflate.
+    pub candidate_groups: usize,
     /// Faults excluded from simulation because the lint pre-flight proved
     /// them untestable by construction (structurally constant or
     /// combinationally unobservable lines). They stay undetected in the
@@ -59,6 +66,7 @@ impl GenerationStats {
         self.evals += other.evals;
         self.wasted_evals += other.wasted_evals;
         self.fsim_calls += other.fsim_calls;
+        self.candidate_groups += other.candidate_groups;
         // The pre-flight verdict is a property of the circuit, not of the
         // run: absorbing another run over the same circuit must not double
         // the count.
@@ -74,14 +82,15 @@ impl GenerationStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"seeds_tried\":{},\"seeds_kept\":{},\"evals\":{},\"wasted_evals\":{},\
-             \"fsim_calls\":{},\"faults_skipped_lint\":{},\"sim_cycles\":{},\
-             \"select_wall_s\":{:.6},\
+             \"fsim_calls\":{},\"candidate_groups\":{},\"faults_skipped_lint\":{},\
+             \"sim_cycles\":{},\"select_wall_s\":{:.6},\
              \"compact_wall_s\":{:.6},\"total_wall_s\":{:.6}}}",
             self.seeds_tried,
             self.seeds_kept,
             self.evals,
             self.wasted_evals,
             self.fsim_calls,
+            self.candidate_groups,
             self.faults_skipped_lint,
             self.sim_cycles,
             self.select_wall.as_secs_f64(),
@@ -95,14 +104,15 @@ impl fmt::Display for GenerationStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seeds {}/{} kept, {} evals ({} wasted, {:.0}%), {} fsim calls, \
-             {} faults lint-skipped, {} sim cycles, {:.3}s",
+            "seeds {}/{} kept, {} evals ({} wasted, {:.0}%), {} fsim calls \
+             ({} groups), {} faults lint-skipped, {} sim cycles, {:.3}s",
             self.seeds_kept,
             self.seeds_tried,
             self.evals,
             self.wasted_evals,
             100.0 * self.waste_ratio(),
             self.fsim_calls,
+            self.candidate_groups,
             self.faults_skipped_lint,
             self.sim_cycles,
             self.total_wall.as_secs_f64(),

@@ -149,7 +149,7 @@ mod tests {
     use crate::extract::functional_tests;
     use crate::SearchOptions;
     use fbt_bist::{cube, Tpg, TpgSpec};
-    use fbt_fault::{FaultSimEngine, PackedParallelSim};
+    use fbt_fault::{FaultSimEngine, FaultSimOptions, PackedParallelSim, TestSet};
     use fbt_netlist::{s27, synth};
     use fbt_sim::seq::simulate_sequence;
 
@@ -196,7 +196,12 @@ mod tests {
             let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
             let traj = simulate_sequence(&net, &zero, &pis);
             let tests = functional_tests(&pis, &traj.states);
-            fsim.run(&tests, &out.faults, &mut detected);
+            fsim.simulate(
+                TestSet::Broadside(&tests),
+                &out.faults,
+                &mut detected,
+                &FaultSimOptions::new(),
+            );
         }
         assert_eq!(detected, out.detected);
     }
@@ -212,7 +217,12 @@ mod tests {
         assert_eq!(tests.len(), out.tests_applied);
         let mut detected = vec![false; out.faults.len()];
         let mut fsim = PackedParallelSim::new(&net);
-        fsim.run(&tests, &out.faults, &mut detected);
+        fsim.simulate(
+            TestSet::Broadside(&tests),
+            &out.faults,
+            &mut detected,
+            &FaultSimOptions::new(),
+        );
         assert_eq!(detected, out.detected);
     }
 
@@ -242,7 +252,11 @@ mod tests {
         let reference = generate_unconstrained(&net, &serial_cfg);
         for batch in [2, 4, 16] {
             let cfg = FunctionalBistConfig {
-                search: SearchOptions { batch, threads: 2 },
+                search: SearchOptions {
+                    batch,
+                    threads: 2,
+                    packed: true,
+                },
                 ..FunctionalBistConfig::smoke()
             };
             let out = generate_unconstrained(&net, &cfg);

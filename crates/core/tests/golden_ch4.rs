@@ -39,7 +39,11 @@ fn circuits() -> Vec<(&'static str, Netlist)> {
 
 fn cfg_with(batch: usize, threads: usize) -> FunctionalBistConfig {
     FunctionalBistConfig {
-        search: SearchOptions { batch, threads },
+        search: SearchOptions {
+            batch,
+            threads,
+            packed: true,
+        },
         ..FunctionalBistConfig::smoke()
     }
 }
@@ -49,12 +53,14 @@ fn cfg_with(batch: usize, threads: usize) -> FunctionalBistConfig {
 fn stats_json(s: &GenerationStats) -> String {
     format!(
         "{{\"seeds_tried\":{},\"seeds_kept\":{},\"evals\":{},\"wasted_evals\":{},\
-         \"fsim_calls\":{},\"faults_skipped_lint\":{},\"sim_cycles\":{}}}",
+         \"fsim_calls\":{},\"candidate_groups\":{},\"faults_skipped_lint\":{},\
+         \"sim_cycles\":{}}}",
         s.seeds_tried,
         s.seeds_kept,
         s.evals,
         s.wasted_evals,
         s.fsim_calls,
+        s.candidate_groups,
         s.faults_skipped_lint,
         s.sim_cycles,
     )

@@ -15,7 +15,9 @@ use fbt_core::{
     generate_constrained, generate_constrained_from, generate_unconstrained, FunctionalBistConfig,
     SearchOptions,
 };
-use fbt_fault::{all_transition_faults, collapse, FaultSimEngine, PackedParallelSim};
+use fbt_fault::{
+    all_transition_faults, collapse, FaultSimEngine, FaultSimOptions, PackedParallelSim, TestSet,
+};
 use fbt_netlist::rng::Rng;
 use fbt_netlist::{s27, synth, Netlist};
 use fbt_sim::seq::simulate_sequence;
@@ -56,7 +58,14 @@ fn reference_unconstrained(
         let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
         let traj = simulate_sequence(net, &zero, &pis);
         let tests = functional_tests(&pis, &traj.states);
-        let newly = fsim.run(&tests, &faults, &mut detected);
+        let newly = fsim
+            .simulate(
+                TestSet::Broadside(&tests),
+                &faults,
+                &mut detected,
+                &FaultSimOptions::new(),
+            )
+            .newly_detected;
         if newly > 0 {
             kept.push(seed);
             useless = 0;
@@ -73,7 +82,14 @@ fn reference_unconstrained(
         let pis = Tpg::new(spec.clone(), seed).sequence(cfg.seq_len);
         let traj = simulate_sequence(net, &zero, &pis);
         let tests = functional_tests(&pis, &traj.states);
-        let newly = fsim.run(&tests, &faults, &mut final_detected);
+        let newly = fsim
+            .simulate(
+                TestSet::Broadside(&tests),
+                &faults,
+                &mut final_detected,
+                &FaultSimOptions::new(),
+            )
+            .newly_detected;
         if newly > 0 {
             final_seeds.push(seed);
             tests_applied += tests.len();
@@ -142,7 +158,14 @@ fn reference_constrained(
             let prefix = &pis[..len];
             let traj = simulate_sequence(net, &cur_state, prefix);
             let tests = functional_tests(prefix, &traj.states);
-            let newly = fsim.run(&tests, &faults, &mut detected);
+            let newly = fsim
+                .simulate(
+                    TestSet::Broadside(&tests),
+                    &faults,
+                    &mut detected,
+                    &FaultSimOptions::new(),
+                )
+                .newly_detected;
             if newly > 0 {
                 tests_applied += tests.len();
                 peak_swa = peak_swa.max(traj.peak_swa());
@@ -163,9 +186,13 @@ fn reference_constrained(
     (sequences, detected, tests_applied, peak_swa)
 }
 
-fn cfg_with(batch: usize, threads: usize) -> FunctionalBistConfig {
+fn cfg_with(batch: usize, threads: usize, packed: bool) -> FunctionalBistConfig {
     FunctionalBistConfig {
-        search: SearchOptions { batch, threads },
+        search: SearchOptions {
+            batch,
+            threads,
+            packed,
+        },
         ..FunctionalBistConfig::smoke()
     }
 }
@@ -175,14 +202,19 @@ fn unconstrained_is_bit_identical_to_the_serial_reference() {
     for net in circuits() {
         let (seeds, detected, tests_applied, peak_swa) =
             reference_unconstrained(&net, &FunctionalBistConfig::smoke());
-        for batch in BATCHES {
-            for threads in THREADS {
-                let out = generate_unconstrained(&net, &cfg_with(batch, threads));
-                let label = format!("{} batch={batch} threads={threads}", net.name());
-                assert_eq!(out.seeds, seeds, "{label}");
-                assert_eq!(out.detected, detected, "{label}");
-                assert_eq!(out.tests_applied, tests_applied, "{label}");
-                assert_eq!(out.peak_swa, peak_swa, "{label}");
+        for packed in [false, true] {
+            for batch in BATCHES {
+                for threads in THREADS {
+                    let out = generate_unconstrained(&net, &cfg_with(batch, threads, packed));
+                    let label = format!(
+                        "{} batch={batch} threads={threads} packed={packed}",
+                        net.name()
+                    );
+                    assert_eq!(out.seeds, seeds, "{label}");
+                    assert_eq!(out.detected, detected, "{label}");
+                    assert_eq!(out.tests_applied, tests_applied, "{label}");
+                    assert_eq!(out.peak_swa, peak_swa, "{label}");
+                }
             }
         }
     }
@@ -200,24 +232,29 @@ fn constrained_is_bit_identical_to_the_serial_reference() {
             &FunctionalBistConfig::smoke(),
             std::slice::from_ref(&zero),
         );
-        for batch in BATCHES {
-            for threads in THREADS {
-                let out = generate_constrained(&net, bound, &cfg_with(batch, threads));
-                let label = format!("{} batch={batch} threads={threads}", net.name());
-                let got: RefSeqs = out
-                    .sequences
-                    .iter()
-                    .map(|s| {
-                        (
-                            s.initial_state.clone(),
-                            s.segments.iter().map(|g| (g.seed, g.len)).collect(),
-                        )
-                    })
-                    .collect();
-                assert_eq!(got, seqs, "{label}");
-                assert_eq!(out.detected, detected, "{label}");
-                assert_eq!(out.tests_applied, tests_applied, "{label}");
-                assert_eq!(out.peak_swa, peak_swa, "{label}");
+        for packed in [false, true] {
+            for batch in BATCHES {
+                for threads in THREADS {
+                    let out = generate_constrained(&net, bound, &cfg_with(batch, threads, packed));
+                    let label = format!(
+                        "{} batch={batch} threads={threads} packed={packed}",
+                        net.name()
+                    );
+                    let got: RefSeqs = out
+                        .sequences
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.initial_state.clone(),
+                                s.segments.iter().map(|g| (g.seed, g.len)).collect(),
+                            )
+                        })
+                        .collect();
+                    assert_eq!(got, seqs, "{label}");
+                    assert_eq!(out.detected, detected, "{label}");
+                    assert_eq!(out.tests_applied, tests_applied, "{label}");
+                    assert_eq!(out.peak_swa, peak_swa, "{label}");
+                }
             }
         }
     }
@@ -237,24 +274,34 @@ fn constrained_from_is_bit_identical_to_the_serial_reference() {
         let bound = 0.6;
         let (seqs, detected, tests_applied, peak_swa) =
             reference_constrained(&net, bound, &FunctionalBistConfig::smoke(), &inits);
-        for batch in BATCHES {
-            for threads in THREADS {
-                let out = generate_constrained_from(&net, bound, &cfg_with(batch, threads), &inits);
-                let label = format!("{} batch={batch} threads={threads}", net.name());
-                let got: RefSeqs = out
-                    .sequences
-                    .iter()
-                    .map(|s| {
-                        (
-                            s.initial_state.clone(),
-                            s.segments.iter().map(|g| (g.seed, g.len)).collect(),
-                        )
-                    })
-                    .collect();
-                assert_eq!(got, seqs, "{label}");
-                assert_eq!(out.detected, detected, "{label}");
-                assert_eq!(out.tests_applied, tests_applied, "{label}");
-                assert_eq!(out.peak_swa, peak_swa, "{label}");
+        for packed in [false, true] {
+            for batch in BATCHES {
+                for threads in THREADS {
+                    let out = generate_constrained_from(
+                        &net,
+                        bound,
+                        &cfg_with(batch, threads, packed),
+                        &inits,
+                    );
+                    let label = format!(
+                        "{} batch={batch} threads={threads} packed={packed}",
+                        net.name()
+                    );
+                    let got: RefSeqs = out
+                        .sequences
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.initial_state.clone(),
+                                s.segments.iter().map(|g| (g.seed, g.len)).collect(),
+                            )
+                        })
+                        .collect();
+                    assert_eq!(got, seqs, "{label}");
+                    assert_eq!(out.detected, detected, "{label}");
+                    assert_eq!(out.tests_applied, tests_applied, "{label}");
+                    assert_eq!(out.peak_swa, peak_swa, "{label}");
+                }
             }
         }
     }
@@ -265,15 +312,19 @@ fn speculative_outcomes_are_independent_of_thread_count() {
     // Fixing the batch, every thread count must give the same counters too
     // (wasted_evals depends only on the batch size and the commit pattern).
     for net in circuits() {
-        for batch in BATCHES {
-            let reference = generate_unconstrained(&net, &cfg_with(batch, 1));
-            for threads in [2, 8] {
-                let out = generate_unconstrained(&net, &cfg_with(batch, threads));
-                assert_eq!(out.seeds, reference.seeds);
-                assert_eq!(out.detected, reference.detected);
-                assert_eq!(out.stats.evals, reference.stats.evals);
-                assert_eq!(out.stats.wasted_evals, reference.stats.wasted_evals);
-                assert_eq!(out.stats.seeds_tried, reference.stats.seeds_tried);
+        for packed in [false, true] {
+            for batch in BATCHES {
+                let reference = generate_unconstrained(&net, &cfg_with(batch, 1, packed));
+                for threads in [2, 8] {
+                    let out = generate_unconstrained(&net, &cfg_with(batch, threads, packed));
+                    assert_eq!(out.seeds, reference.seeds);
+                    assert_eq!(out.detected, reference.detected);
+                    assert_eq!(out.stats.evals, reference.stats.evals);
+                    assert_eq!(out.stats.wasted_evals, reference.stats.wasted_evals);
+                    assert_eq!(out.stats.seeds_tried, reference.stats.seeds_tried);
+                    assert_eq!(out.stats.fsim_calls, reference.stats.fsim_calls);
+                    assert_eq!(out.stats.candidate_groups, reference.stats.candidate_groups);
+                }
             }
         }
     }

@@ -2,39 +2,55 @@
 //!
 //! Everything the workspace needs from broadside transition-fault
 //! simulation goes through one trait, [`FaultSimEngine`], configured by a
-//! builder-style [`FaultSimOptions`]. Two implementations are provided:
+//! builder-style [`FaultSimOptions`]. The trait's core entry point is
+//! *grouped*: one call simulates a whole batch of independent candidate
+//! test sequences ([`TestGroup`]s), each with its own detection credit.
+//! Two implementations are provided:
 //!
 //! * [`SerialSim`] — the original single-threaded simulator, kept as the
-//!   correctness oracle;
+//!   correctness oracle; it simulates each group of a batch on its own.
 //! * [`PackedParallelSim`] — a PPSFP-style (parallel-pattern, single-fault
-//!   propagation) engine that packs 64 broadside tests per `u64` word and
-//!   shards the fault list across worker threads with
-//!   [`std::thread::scope`].
+//!   propagation) engine that packs 64 tests per `u64` word — *across group
+//!   boundaries* — and shards the fault list across worker threads with
+//!   [`std::thread::scope`]. One levelized pass over the circuit evaluates
+//!   tests from many speculative candidates at once; fault dropping is
+//!   lane-masked per group, so a drop credited to group *i* never leaks
+//!   into group *j*'s outcome.
 //!
-//! Both engines produce bit-identical results: within a 64-test chunk each
+//! Both engines produce bit-identical results: within a 64-test word each
 //! fault is simulated independently against a shared fault-free machine, so
-//! neither the shard boundaries nor the thread count can change a detection
-//! verdict. Fault dropping takes effect between chunks in both engines.
+//! neither the word boundaries, the group packing, the shard boundaries nor
+//! the thread count can change a detection verdict. Fault dropping takes
+//! effect between words in both engines, and every group's outcome equals
+//! what running that group alone (from the shared baseline) would produce.
 //!
 //! # Example
 //!
 //! ```
 //! use fbt_fault::{all_transition_faults, BroadsideTest};
-//! use fbt_fault::engine::{FaultSimEngine, FaultSimOptions, PackedParallelSim};
+//! use fbt_fault::engine::{FaultSimEngine, FaultSimOptions, PackedParallelSim, TestGroup};
 //! use fbt_netlist::s27;
 //! use fbt_sim::Bits;
 //!
 //! let net = s27();
 //! let faults = all_transition_faults(&net);
-//! let tests = vec![BroadsideTest::new(
+//! let a = vec![BroadsideTest::new(
 //!     Bits::from_str01("000"),
 //!     Bits::from_str01("0000"),
 //!     Bits::from_str01("1000"),
 //! )];
+//! let b = vec![BroadsideTest::new(
+//!     Bits::from_str01("101"),
+//!     Bits::from_str01("1111"),
+//!     Bits::from_str01("0000"),
+//! )];
+//! // Two speculative candidates, one packed pass, independent credit.
+//! let groups = [TestGroup::new(&a[..]), TestGroup::new(&b[..])];
+//! let baseline = vec![false; faults.len()];
 //! let mut engine = PackedParallelSim::new(&net);
-//! let mut detected = vec![false; faults.len()];
-//! let newly = engine.run(&tests, &faults, &mut detected);
-//! assert_eq!(newly, detected.iter().filter(|&&d| d).count());
+//! let outs = engine.simulate_groups(&groups, &faults, &baseline, &FaultSimOptions::new());
+//! assert_eq!(outs.len(), 2);
+//! assert_eq!(outs[0].newly_detected, outs[0].newly.len());
 //! ```
 
 use fbt_netlist::{Netlist, NodeId};
@@ -42,7 +58,7 @@ use fbt_sim::comb;
 
 use crate::{BroadsideTest, Transition, TransitionFault, TwoPatternTest};
 
-/// Configuration for one [`FaultSimEngine::simulate`] call.
+/// Configuration for one [`FaultSimEngine`] call.
 ///
 /// Built fluently; the default is a plain 1-detect run with fault dropping
 /// on and automatic thread count:
@@ -60,6 +76,7 @@ pub struct FaultSimOptions {
     first_detection: bool,
     matrix: bool,
     activity: bool,
+    until_first_accept: bool,
 }
 
 impl Default for FaultSimOptions {
@@ -71,6 +88,7 @@ impl Default for FaultSimOptions {
             first_detection: false,
             matrix: false,
             activity: false,
+            until_first_accept: false,
         }
     }
 }
@@ -131,6 +149,20 @@ impl FaultSimOptions {
         self
     }
 
+    /// In a [`FaultSimEngine::simulate_groups`] call, stop as soon as the
+    /// first *accepting* group (in batch order) is fully simulated: a group
+    /// that newly detects at least one fault relative to the baseline.
+    /// Groups after the first acceptor are returned with
+    /// [`SimOutcome::complete`] `false` and otherwise-empty outcomes.
+    ///
+    /// This mirrors the speculative commit rule of the generation engine
+    /// (draw order, first acceptor wins): outcomes after the acceptor are
+    /// never consumed, so the engine need not pay for them.
+    pub fn until_first_accept(mut self, on: bool) -> Self {
+        self.until_first_accept = on;
+        self
+    }
+
     /// The configured n-detect cap.
     pub fn n_detect_cap(&self) -> usize {
         self.n_detect
@@ -145,12 +177,17 @@ impl FaultSimOptions {
     pub fn thread_count(&self) -> usize {
         self.threads
     }
+
+    /// Whether grouped calls stop at the first accepting group.
+    pub fn stops_at_first_accept(&self) -> bool {
+        self.until_first_accept
+    }
 }
 
-/// The tests given to one [`FaultSimEngine::simulate`] call: broadside
-/// tests (second state derived from the first pattern) or two-pattern tests
-/// with an explicit — possibly unreachable — second state (the state-holding
-/// DFT of paper §4.5).
+/// The tests given to one engine call: broadside tests (second state
+/// derived from the first pattern) or two-pattern tests with an explicit —
+/// possibly unreachable — second state (the state-holding DFT of paper
+/// §4.5).
 #[derive(Debug, Clone, Copy)]
 pub enum TestSet<'a> {
     /// Broadside tests; `s2` is the circuit's response to `<s1, v1>`.
@@ -175,21 +212,29 @@ impl TestSet<'_> {
 
     /// Pack tests `start..end` (at most 64) into per-source words.
     fn pack(&self, net: &Netlist, start: usize, end: usize) -> PackedChunk {
+        let mut c = PackedChunk::new(net, end - start);
+        self.pack_into(net, start, end, 0, &mut c);
+        c
+    }
+
+    /// Pack tests `start..end` into lanes `lane_lo..` of an existing chunk
+    /// (the grouped engines interleave several groups into one word).
+    fn pack_into(
+        &self,
+        net: &Netlist,
+        start: usize,
+        end: usize,
+        lane_lo: u32,
+        c: &mut PackedChunk,
+    ) {
         let n_pi = net.num_inputs();
         let n_ff = net.num_dffs();
-        let mut c = PackedChunk {
-            n_tests: end - start,
-            v1w: vec![0; n_pi],
-            v2w: vec![0; n_pi],
-            s1w: vec![0; n_ff],
-            s2w: None,
-        };
         match self {
             TestSet::Broadside(tests) => {
-                for (lane, t) in tests[start..end].iter().enumerate() {
+                for (k, t) in tests[start..end].iter().enumerate() {
                     assert_eq!(t.v1.len(), n_pi, "PI width mismatch");
                     assert_eq!(t.scan_in.len(), n_ff, "state width mismatch");
-                    let bit = 1u64 << lane;
+                    let bit = 1u64 << (lane_lo + k as u32);
                     for i in 0..n_pi {
                         if t.v1.get(i) {
                             c.v1w[i] |= bit;
@@ -206,12 +251,12 @@ impl TestSet<'_> {
                 }
             }
             TestSet::TwoPattern(tests) => {
-                let mut s2w = vec![0u64; n_ff];
-                for (lane, t) in tests[start..end].iter().enumerate() {
+                for (k, t) in tests[start..end].iter().enumerate() {
                     assert_eq!(t.v1.len(), n_pi, "PI width mismatch");
                     assert_eq!(t.s1.len(), n_ff, "state width mismatch");
                     assert_eq!(t.s2.len(), n_ff, "state width mismatch");
-                    let bit = 1u64 << lane;
+                    let bit = 1u64 << (lane_lo + k as u32);
+                    c.s2_mask |= bit;
                     for i in 0..n_pi {
                         if t.v1.get(i) {
                             c.v1w[i] |= bit;
@@ -220,7 +265,7 @@ impl TestSet<'_> {
                             c.v2w[i] |= bit;
                         }
                     }
-                    for (i, (w1, w2)) in c.s1w.iter_mut().zip(s2w.iter_mut()).enumerate() {
+                    for (i, (w1, w2)) in c.s1w.iter_mut().zip(c.s2w.iter_mut()).enumerate() {
                         if t.s1.get(i) {
                             *w1 |= bit;
                         }
@@ -229,10 +274,8 @@ impl TestSet<'_> {
                         }
                     }
                 }
-                c.s2w = Some(s2w);
             }
         }
-        c
     }
 }
 
@@ -245,6 +288,30 @@ impl<'a> From<&'a [BroadsideTest]> for TestSet<'a> {
 impl<'a> From<&'a [TwoPatternTest]> for TestSet<'a> {
     fn from(t: &'a [TwoPatternTest]) -> Self {
         TestSet::TwoPattern(t)
+    }
+}
+
+/// One independent candidate in a [`FaultSimEngine::simulate_groups`]
+/// batch: a test set simulated with its own detection credit, as if it were
+/// the only one running against the shared baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct TestGroup<'a> {
+    /// The group's tests.
+    pub tests: TestSet<'a>,
+}
+
+impl<'a> TestGroup<'a> {
+    /// Wrap a test set (or anything convertible into one) as a group.
+    pub fn new(tests: impl Into<TestSet<'a>>) -> Self {
+        TestGroup {
+            tests: tests.into(),
+        }
+    }
+}
+
+impl<'a> From<TestSet<'a>> for TestGroup<'a> {
+    fn from(tests: TestSet<'a>) -> Self {
+        TestGroup { tests }
     }
 }
 
@@ -304,17 +371,26 @@ impl DetectionMatrix {
     }
 }
 
-/// Everything one [`FaultSimEngine::simulate`] call produced. Optional
-/// fields are populated according to the [`FaultSimOptions`] used.
-#[derive(Debug, Clone, Default)]
+/// Everything one group (or one plain call) produced. Optional fields are
+/// populated according to the [`FaultSimOptions`] used.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimOutcome {
-    /// Faults whose `detected` flag this call flipped from false to true
-    /// (in n-detect mode: faults that reached the cap).
+    /// How many faults this group detected that the baseline had not
+    /// (in n-detect mode: faults that reached the cap). Always equals
+    /// `newly.len()`.
     pub newly_detected: usize,
+    /// The fault indices behind `newly_detected`, sorted ascending. In a
+    /// grouped call these are relative to the shared baseline: credit is
+    /// per group and never leaks between groups.
+    pub newly: Vec<usize>,
+    /// `false` only for groups after the first acceptor in an
+    /// [`FaultSimOptions::until_first_accept`] call; their other fields are
+    /// unspecified (empty) and must not be consumed.
+    pub complete: bool,
     /// Per-fault detection counts, clamped to the cap
     /// (present when `n_detect > 1`).
     pub counts: Option<Vec<usize>>,
-    /// Per-fault index of the first detecting test
+    /// Per-fault index of the first detecting test, group-local
     /// (present when `first_detection` was requested).
     pub first_detection: Option<Vec<Option<usize>>>,
     /// The full detection matrix (present when requested).
@@ -324,26 +400,67 @@ pub struct SimOutcome {
     pub activity: Option<Vec<usize>>,
 }
 
+impl Default for SimOutcome {
+    fn default() -> Self {
+        SimOutcome {
+            newly_detected: 0,
+            newly: Vec::new(),
+            complete: true,
+            counts: None,
+            first_detection: None,
+            matrix: None,
+            activity: None,
+        }
+    }
+}
+
 /// A broadside transition-fault simulation engine.
 ///
-/// [`simulate`](FaultSimEngine::simulate) is the single required entry
-/// point; the remaining methods are thin conveniences over it and replace
-/// the former `FaultSim` method family (`run`, `run_two_pattern`,
-/// `run_first_detection`, `run_n_detect`, `detection_matrix`, `detects`).
+/// [`simulate_groups`](FaultSimEngine::simulate_groups) is the single
+/// required entry point: it evaluates a whole batch of independent
+/// candidate test sets in one call. [`simulate`](FaultSimEngine::simulate)
+/// is the single-set convenience (a batch of one) and the remaining methods
+/// are thin conveniences over it; the former `run`/`run_two_pattern`/
+/// `first_detections` shapes survive as deprecated shims.
 ///
 /// The contract every engine must satisfy: a transition fault `v → v'` on
 /// line `g` is detected by a test when the first pattern establishes
 /// `g = v` (launch) and under the second pattern the stuck-at-`v` fault on
 /// `g` is observed at a primary output or a flip-flop D input (paper §1.2).
-/// Detection verdicts must not depend on chunking, sharding or thread
-/// count.
+/// Detection verdicts must not depend on chunking, group packing, sharding
+/// or thread count, and each group's outcome must be bit-identical to
+/// simulating that group alone from the shared baseline.
 pub trait FaultSimEngine {
     /// A short, stable engine name for logs and reports.
     fn name(&self) -> &'static str;
 
+    /// Simulate a batch of independent candidate groups against `faults`
+    /// under `opts`, each group starting from the shared, read-only
+    /// `baseline` detection flags.
+    ///
+    /// Returns one [`SimOutcome`] per group, in batch order. Detection
+    /// credit is per group: outcome `i` is exactly what
+    /// [`simulate`](FaultSimEngine::simulate) on group `i` alone (with a
+    /// copy of `baseline`) would produce. The baseline itself is never
+    /// modified — committing a winning group's `newly` indices back into a
+    /// flag vector is the caller's decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline.len() != faults.len()` or test widths mismatch
+    /// the engine's netlist.
+    fn simulate_groups(
+        &mut self,
+        groups: &[TestGroup<'_>],
+        faults: &[TransitionFault],
+        baseline: &[bool],
+        opts: &FaultSimOptions,
+    ) -> Vec<SimOutcome>;
+
     /// Simulate `tests` against `faults` under `opts`, updating the
     /// per-fault `detected` flags (with fault dropping on, faults whose
-    /// flag is already set are skipped).
+    /// flag is already set are skipped). Equivalent to a grouped call with
+    /// a single group whose `newly` indices are committed into `detected`.
     ///
     /// # Panics
     ///
@@ -355,10 +472,21 @@ pub trait FaultSimEngine {
         faults: &[TransitionFault],
         detected: &mut [bool],
         opts: &FaultSimOptions,
-    ) -> SimOutcome;
+    ) -> SimOutcome {
+        let group = [TestGroup::new(tests)];
+        let out = self
+            .simulate_groups(&group, faults, detected, opts)
+            .pop()
+            .expect("one group in, one outcome out");
+        for &fi in &out.newly {
+            detected[fi] = true;
+        }
+        out
+    }
 
     /// Plain fault-dropping simulation of broadside tests; returns how many
     /// faults were newly detected.
+    #[deprecated(note = "use `simulate` (or `simulate_groups` for batches)")]
     fn run(
         &mut self,
         tests: &[BroadsideTest],
@@ -376,6 +504,7 @@ pub trait FaultSimEngine {
 
     /// Plain fault-dropping simulation of two-pattern tests with explicit
     /// second states (the state-holding DFT of paper §4.5).
+    #[deprecated(note = "use `simulate` with `TestSet::TwoPattern`")]
     fn run_two_pattern(
         &mut self,
         tests: &[TwoPatternTest],
@@ -391,9 +520,10 @@ pub trait FaultSimEngine {
         .newly_detected
     }
 
-    /// Like [`run`](FaultSimEngine::run), but also report, for each newly
-    /// detected fault, the index (into `tests`) of the first detecting
-    /// test.
+    /// Like [`simulate`](FaultSimEngine::simulate), but also report, for
+    /// each newly detected fault, the index (into `tests`) of the first
+    /// detecting test.
+    #[deprecated(note = "use `simulate` with `FaultSimOptions::first_detection`")]
     fn first_detections(
         &mut self,
         tests: &[BroadsideTest],
@@ -481,9 +611,25 @@ struct PackedChunk {
     v1w: Vec<u64>,
     v2w: Vec<u64>,
     s1w: Vec<u64>,
-    /// Explicit second state (two-pattern tests); derived from frame 1
-    /// when absent.
-    s2w: Option<Vec<u64>>,
+    /// Explicit second states (meaningful in `s2_mask` lanes only).
+    s2w: Vec<u64>,
+    /// Lanes carrying an explicit second state (two-pattern tests); all
+    /// other lanes derive theirs from frame 1. Grouped calls can mix both
+    /// kinds inside one word.
+    s2_mask: u64,
+}
+
+impl PackedChunk {
+    fn new(net: &Netlist, n_tests: usize) -> Self {
+        PackedChunk {
+            n_tests,
+            v1w: vec![0; net.num_inputs()],
+            v2w: vec![0; net.num_inputs()],
+            s1w: vec![0; net.num_dffs()],
+            s2w: vec![0; net.num_dffs()],
+            s2_mask: 0,
+        }
+    }
 }
 
 /// Fault-free machine values for one chunk, shared by every fault.
@@ -505,10 +651,12 @@ fn eval_good(net: &Netlist, chunk: &PackedChunk) -> GoodMachine {
     let mut frame1 = vec![0u64; net.num_nodes()];
     comb::load_sources_packed(net, &chunk.v1w, &chunk.s1w, &mut frame1);
     comb::eval_packed(net, &mut frame1);
-    let s2w = match &chunk.s2w {
-        Some(s) => s.clone(),
-        None => comb::next_state_packed(net, &frame1),
-    };
+    let mut s2w = comb::next_state_packed(net, &frame1);
+    if chunk.s2_mask != 0 {
+        for (w, e) in s2w.iter_mut().zip(&chunk.s2w) {
+            *w = (*w & !chunk.s2_mask) | (*e & chunk.s2_mask);
+        }
+    }
     let mut good = vec![0u64; net.num_nodes()];
     comb::load_sources_packed(net, &chunk.v2w, &s2w, &mut good);
     comb::eval_packed(net, &mut good);
@@ -516,6 +664,109 @@ fn eval_good(net: &Netlist, chunk: &PackedChunk) -> GoodMachine {
         frame1,
         good,
         lanes_mask,
+    }
+}
+
+/// The lanes of one group inside one packed word of a grouped call.
+#[derive(Debug, Clone)]
+struct GroupSpan {
+    group: usize,
+    lane_lo: u32,
+    lanes: u32,
+    /// Group-local index of the test sitting in lane `lane_lo`.
+    local_base: usize,
+}
+
+impl GroupSpan {
+    fn mask(&self) -> u64 {
+        let ones = if self.lanes == 64 {
+            !0u64
+        } else {
+            (1u64 << self.lanes) - 1
+        };
+        ones << self.lane_lo
+    }
+}
+
+/// Concatenate the groups into a dense global test-index space: group `g`
+/// occupies global tests `offsets[g]..offsets[g+1]`, 64 global tests per
+/// word. Returns the offsets and the per-word group spans.
+fn group_layout(groups: &[TestGroup<'_>]) -> (Vec<usize>, Vec<Vec<GroupSpan>>) {
+    let mut offsets = Vec::with_capacity(groups.len() + 1);
+    offsets.push(0usize);
+    for g in groups {
+        offsets.push(offsets.last().unwrap() + g.tests.len());
+    }
+    let total = *offsets.last().unwrap();
+    let mut spans: Vec<Vec<GroupSpan>> = (0..total.div_ceil(64)).map(|_| Vec::new()).collect();
+    for g in 0..groups.len() {
+        let (p0, p1) = (offsets[g], offsets[g + 1]);
+        if p0 == p1 {
+            continue;
+        }
+        for (w, spans_w) in spans
+            .iter_mut()
+            .enumerate()
+            .take((p1 - 1) / 64 + 1)
+            .skip(p0 / 64)
+        {
+            let lo = p0.max(w * 64);
+            let hi = p1.min((w + 1) * 64);
+            spans_w.push(GroupSpan {
+                group: g,
+                lane_lo: (lo - w * 64) as u32,
+                lanes: (hi - lo) as u32,
+                local_base: lo - p0,
+            });
+        }
+    }
+    (offsets, spans)
+}
+
+/// Pack one global 64-test word of a grouped call: each span contributes
+/// its group-local test range into its lane range.
+fn pack_word(
+    net: &Netlist,
+    groups: &[TestGroup<'_>],
+    spans_w: &[GroupSpan],
+    n_tests: usize,
+) -> PackedChunk {
+    let mut c = PackedChunk::new(net, n_tests);
+    for sp in spans_w {
+        groups[sp.group].tests.pack_into(
+            net,
+            sp.local_base,
+            sp.local_base + sp.lanes as usize,
+            sp.lane_lo,
+            &mut c,
+        );
+    }
+    c
+}
+
+/// Distribute one fault's detecting lanes to the groups owning them
+/// (lane-masked credit: a hit in group `i`'s lanes is recorded against
+/// group `i`'s flags and accumulator only).
+fn record_hit(
+    spans_w: &[GroupSpan],
+    dets: &mut [Vec<bool>],
+    accums: &mut [Accum],
+    dropping: bool,
+    fi: usize,
+    lanes: u64,
+) {
+    for sp in spans_w {
+        let l = lanes & sp.mask();
+        if l == 0 {
+            continue;
+        }
+        let det = &mut dets[sp.group];
+        // A group that already dropped this fault (in an earlier word)
+        // takes no further credit — exactly as if it ran alone.
+        if dropping && det[fi] {
+            continue;
+        }
+        accums[sp.group].record_span(fi, l, sp.lane_lo, sp.local_base, det);
     }
 }
 
@@ -592,10 +843,10 @@ fn fault_lanes(
     act & diff_obs
 }
 
-/// Accumulates per-call results; shared by both engines so their merge
+/// Accumulates per-group results; shared by both engines so their merge
 /// semantics cannot drift apart.
 struct Accum {
-    newly: usize,
+    newly: Vec<usize>,
     cap: usize,
     counts: Option<Vec<usize>>,
     first: Option<Vec<Option<usize>>>,
@@ -606,7 +857,7 @@ struct Accum {
 impl Accum {
     fn new(opts: &FaultSimOptions, n_faults: usize, n_tests: usize) -> Self {
         Accum {
-            newly: 0,
+            newly: Vec::new(),
             cap: opts.n_detect,
             counts: (opts.n_detect > 1).then(|| vec![0usize; n_faults]),
             first: opts.first_detection.then(|| vec![None; n_faults]),
@@ -615,43 +866,79 @@ impl Accum {
         }
     }
 
-    /// Merge the detecting lanes of fault `fi` in chunk `base`.
+    /// Merge the detecting lanes of fault `fi` in aligned chunk `base`
+    /// (single-group path: lane `l` is test `base * 64 + l`).
     fn record(&mut self, fi: usize, lanes: u64, base: usize, detected: &mut [bool]) {
+        self.record_span(fi, lanes, 0, base * 64, detected);
+    }
+
+    /// Merge the detecting lanes of fault `fi` for one group span: lane
+    /// `lane_lo + k` is the group-local test `local_base + k`.
+    fn record_span(
+        &mut self,
+        fi: usize,
+        lanes: u64,
+        lane_lo: u32,
+        local_base: usize,
+        detected: &mut [bool],
+    ) {
+        let first_idx = local_base + (lanes.trailing_zeros() - lane_lo) as usize;
         match &mut self.counts {
             Some(counts) => {
                 if counts[fi] == 0 {
                     if let Some(first) = &mut self.first {
-                        first[fi] = Some(base * 64 + lanes.trailing_zeros() as usize);
+                        first[fi] = Some(first_idx);
                     }
                 }
                 counts[fi] += lanes.count_ones() as usize;
                 if counts[fi] >= self.cap && !detected[fi] {
                     detected[fi] = true;
-                    self.newly += 1;
+                    self.newly.push(fi);
                 }
             }
             None => {
                 if !detected[fi] {
                     detected[fi] = true;
-                    self.newly += 1;
+                    self.newly.push(fi);
                     if let Some(first) = &mut self.first {
-                        first[fi] = Some(base * 64 + lanes.trailing_zeros() as usize);
+                        first[fi] = Some(first_idx);
                     }
                 }
             }
         }
         if let Some(m) = &mut self.matrix {
-            m.rows[fi][base] |= lanes;
+            if lane_lo == 0 && local_base.is_multiple_of(64) {
+                m.rows[fi][local_base / 64] |= lanes;
+            } else {
+                let mut d = lanes;
+                while d != 0 {
+                    let idx = local_base + (d.trailing_zeros() - lane_lo) as usize;
+                    m.rows[fi][idx / 64] |= 1u64 << (idx % 64);
+                    d &= d - 1;
+                }
+            }
         }
     }
 
-    /// Add the fault-free launch→capture toggle counts of chunk `base`.
+    /// Add the fault-free launch→capture toggle counts of aligned chunk
+    /// `base` (single-group path).
     fn record_activity(&mut self, gm: &GoodMachine, base: usize) {
+        self.record_activity_span(gm, gm.lanes_mask, 0, base * 64);
+    }
+
+    /// Add the toggle counts of one group span.
+    fn record_activity_span(
+        &mut self,
+        gm: &GoodMachine,
+        mask: u64,
+        lane_lo: u32,
+        local_base: usize,
+    ) {
         if let Some(act) = &mut self.activity {
             for (f1, f2) in gm.frame1.iter().zip(&gm.good) {
-                let mut d = (f1 ^ f2) & gm.lanes_mask;
+                let mut d = (f1 ^ f2) & mask;
                 while d != 0 {
-                    act[base * 64 + d.trailing_zeros() as usize] += 1;
+                    act[local_base + (d.trailing_zeros() - lane_lo) as usize] += 1;
                     d &= d - 1;
                 }
             }
@@ -659,15 +946,25 @@ impl Accum {
     }
 
     fn finish(self) -> SimOutcome {
-        let cap = self.cap;
+        let Accum {
+            mut newly,
+            cap,
+            counts,
+            first,
+            matrix,
+            activity,
+        } = self;
+        // Record order depends on which word first flipped each fault, so
+        // normalise: outcomes must not depend on chunking or packing.
+        newly.sort_unstable();
         SimOutcome {
-            newly_detected: self.newly,
-            counts: self
-                .counts
-                .map(|c| c.into_iter().map(|v| v.min(cap)).collect()),
-            first_detection: self.first,
-            matrix: self.matrix,
-            activity: self.activity,
+            newly_detected: newly.len(),
+            newly,
+            complete: true,
+            counts: counts.map(|c| c.into_iter().map(|v| v.min(cap)).collect()),
+            first_detection: first,
+            matrix,
+            activity,
         }
     }
 }
@@ -686,7 +983,8 @@ fn observability(net: &Netlist) -> Vec<bool> {
 }
 
 /// The original single-threaded engine, kept as the correctness oracle for
-/// [`PackedParallelSim`] (see the `differential` integration tests).
+/// [`PackedParallelSim`] (see the `differential` and `grouped_differential`
+/// integration tests). Grouped batches are simulated one group at a time.
 #[derive(Debug)]
 pub struct SerialSim<'a> {
     net: &'a Netlist,
@@ -705,21 +1003,16 @@ impl<'a> SerialSim<'a> {
             cones: vec![None; net.num_nodes()],
         }
     }
-}
 
-impl FaultSimEngine for SerialSim<'_> {
-    fn name(&self) -> &'static str {
-        "serial"
-    }
-
-    fn simulate(
+    /// Simulate one test set against one flag vector (the pre-grouped
+    /// engine loop, unchanged).
+    fn simulate_one(
         &mut self,
         tests: TestSet<'_>,
         faults: &[TransitionFault],
         detected: &mut [bool],
         opts: &FaultSimOptions,
     ) -> SimOutcome {
-        assert_eq!(faults.len(), detected.len(), "flag vector length mismatch");
         let net = self.net;
         let mut accum = Accum::new(opts, faults.len(), tests.len());
         // Borrow-friendly local worker view over this engine's state.
@@ -750,16 +1043,49 @@ impl FaultSimEngine for SerialSim<'_> {
     }
 }
 
+impl FaultSimEngine for SerialSim<'_> {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn simulate_groups(
+        &mut self,
+        groups: &[TestGroup<'_>],
+        faults: &[TransitionFault],
+        baseline: &[bool],
+        opts: &FaultSimOptions,
+    ) -> Vec<SimOutcome> {
+        assert_eq!(faults.len(), baseline.len(), "flag vector length mismatch");
+        let mut outs = Vec::with_capacity(groups.len());
+        let mut stopped = false;
+        for group in groups {
+            if stopped {
+                outs.push(SimOutcome {
+                    complete: false,
+                    ..SimOutcome::default()
+                });
+                continue;
+            }
+            let mut det = baseline.to_vec();
+            let out = self.simulate_one(group.tests, faults, &mut det, opts);
+            stopped = opts.until_first_accept && out.newly_detected > 0;
+            outs.push(out);
+        }
+        outs
+    }
+}
+
 /// The PPSFP engine: 64 tests per machine word, fault list sharded across
 /// worker threads with [`std::thread::scope`].
 ///
-/// Per 64-test chunk the fault-free machine (launch and capture frames) is
-/// evaluated once and shared read-only; each worker then propagates its
-/// shard of faults through private scratch buffers and per-worker fanout
-/// cone caches, so no locking is needed anywhere. Detection flags are
-/// merged between chunks, giving exactly the serial engine's fault-dropping
-/// semantics — results are bit-identical to [`SerialSim`] for every thread
-/// count.
+/// In a grouped call the batch's candidates are concatenated into one
+/// dense test-index space, so tests from different groups share 64-lane
+/// words; the fault-free machine of each word is evaluated once and each
+/// fault is propagated through it once, however many groups the word
+/// holds. Detection credit is lane-masked back to the owning groups, each
+/// with its own copy of the baseline flags, so fault dropping in one group
+/// never affects another — results are bit-identical to [`SerialSim`]
+/// running each group alone, for every batch shape and thread count.
 #[derive(Debug)]
 pub struct PackedParallelSim<'a> {
     net: &'a Netlist,
@@ -806,88 +1132,149 @@ impl FaultSimEngine for PackedParallelSim<'_> {
         "packed-parallel"
     }
 
-    fn simulate(
+    fn simulate_groups(
         &mut self,
-        tests: TestSet<'_>,
+        groups: &[TestGroup<'_>],
         faults: &[TransitionFault],
-        detected: &mut [bool],
+        baseline: &[bool],
         opts: &FaultSimOptions,
-    ) -> SimOutcome {
-        assert_eq!(faults.len(), detected.len(), "flag vector length mismatch");
+    ) -> Vec<SimOutcome> {
+        assert_eq!(faults.len(), baseline.len(), "flag vector length mismatch");
         let net = self.net;
+        let (offsets, spans) = group_layout(groups);
+        let total = *offsets.last().unwrap();
         let threads = Self::resolve_threads(opts, faults.len());
         while self.workers.len() < threads {
             self.workers.push(Worker::new(net));
         }
         let observable = &self.observable;
-        let mut accum = Accum::new(opts, faults.len(), tests.len());
         let shard = faults.len().div_ceil(threads).max(1);
 
-        for base in 0..tests.len().div_ceil(64) {
-            let start = base * 64;
-            let end = (start + 64).min(tests.len());
-            let chunk = tests.pack(net, start, end);
+        // Per-group detection flags (baseline copies) and accumulators:
+        // credit never crosses group boundaries.
+        let mut dets: Vec<Vec<bool>> = groups.iter().map(|_| baseline.to_vec()).collect();
+        let mut accums: Vec<Accum> = groups
+            .iter()
+            .map(|g| Accum::new(opts, faults.len(), g.tests.len()))
+            .collect();
+
+        // Early exit bookkeeping: group g is fully simulated once every
+        // word up to its end offset is done; offsets are monotone, so
+        // groups complete in batch order and `pending` can sweep forward.
+        let mut pending = 0usize;
+        let mut acceptor: Option<usize> = None;
+
+        for (w, spans_w) in spans.iter().enumerate() {
+            let n_tests = 64.min(total - w * 64);
+            let chunk = pack_word(net, groups, spans_w, n_tests);
             let gm = eval_good(net, &chunk);
-            accum.record_activity(&gm, base);
+            for sp in spans_w {
+                accums[sp.group].record_activity_span(&gm, sp.mask(), sp.lane_lo, sp.local_base);
+            }
 
             if threads == 1 {
                 // Inline fast path: no spawn overhead.
                 let worker = &mut self.workers[0];
                 worker.load_good(&gm);
                 for (fi, fault) in faults.iter().enumerate() {
-                    if opts.fault_dropping && detected[fi] {
+                    // Word-level dropping: skip only when every group with
+                    // lanes here has dropped the fault.
+                    if opts.fault_dropping && spans_w.iter().all(|sp| dets[sp.group][fi]) {
                         continue;
                     }
                     let lanes = fault_lanes(net, observable, &gm, worker, fault);
                     if lanes != 0 {
-                        accum.record(fi, lanes, base, detected);
+                        record_hit(
+                            spans_w,
+                            &mut dets,
+                            &mut accums,
+                            opts.fault_dropping,
+                            fi,
+                            lanes,
+                        );
                     }
                 }
-                continue;
+            } else {
+                // Shard the fault list; workers read a snapshot of the
+                // per-group flags (dropping takes effect between words, as
+                // in the serial engine) and report (fault, lanes) hits.
+                let flags: &[Vec<bool>] = &dets;
+                let dropping = opts.fault_dropping;
+                let hits: Vec<Vec<(usize, u64)>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .workers
+                        .iter_mut()
+                        .zip(faults.chunks(shard))
+                        .enumerate()
+                        .map(|(wk, (worker, shard_faults))| {
+                            let gm = &gm;
+                            s.spawn(move || {
+                                let offset = wk * shard;
+                                worker.load_good(gm);
+                                let mut hits = Vec::new();
+                                for (i, fault) in shard_faults.iter().enumerate() {
+                                    if dropping
+                                        && spans_w.iter().all(|sp| flags[sp.group][offset + i])
+                                    {
+                                        continue;
+                                    }
+                                    let lanes = fault_lanes(net, observable, gm, worker, fault);
+                                    if lanes != 0 {
+                                        hits.push((offset + i, lanes));
+                                    }
+                                }
+                                hits
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fault-sim worker panicked"))
+                        .collect()
+                });
+                for shard_hits in hits {
+                    for (fi, lanes) in shard_hits {
+                        record_hit(
+                            spans_w,
+                            &mut dets,
+                            &mut accums,
+                            opts.fault_dropping,
+                            fi,
+                            lanes,
+                        );
+                    }
+                }
             }
 
-            // Shard the fault list; workers read a snapshot of the
-            // detection flags (dropping takes effect between chunks, as in
-            // the serial engine) and report (fault index, lanes) hits.
-            let flags: &[bool] = detected;
-            let dropping = opts.fault_dropping;
-            let hits: Vec<Vec<(usize, u64)>> = std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .workers
-                    .iter_mut()
-                    .zip(faults.chunks(shard))
-                    .enumerate()
-                    .map(|(w, (worker, shard_faults))| {
-                        let gm = &gm;
-                        s.spawn(move || {
-                            let offset = w * shard;
-                            worker.load_good(gm);
-                            let mut hits = Vec::new();
-                            for (i, fault) in shard_faults.iter().enumerate() {
-                                if dropping && flags[offset + i] {
-                                    continue;
-                                }
-                                let lanes = fault_lanes(net, observable, gm, worker, fault);
-                                if lanes != 0 {
-                                    hits.push((offset + i, lanes));
-                                }
-                            }
-                            hits
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("fault-sim worker panicked"))
-                    .collect()
-            });
-            for shard_hits in hits {
-                for (fi, lanes) in shard_hits {
-                    accum.record(fi, lanes, base, detected);
+            if opts.until_first_accept {
+                let words_done = w + 1;
+                while pending < groups.len() && offsets[pending + 1] <= words_done * 64 {
+                    if !accums[pending].newly.is_empty() {
+                        acceptor = Some(pending);
+                        break;
+                    }
+                    pending += 1;
+                }
+                if acceptor.is_some() {
+                    break;
                 }
             }
         }
-        accum.finish()
+
+        accums
+            .into_iter()
+            .enumerate()
+            .map(|(g, a)| {
+                if acceptor.is_some_and(|acc| g > acc) {
+                    SimOutcome {
+                        complete: false,
+                        ..SimOutcome::default()
+                    }
+                } else {
+                    a.finish()
+                }
+            })
+            .collect()
     }
 }
 
@@ -910,6 +1297,18 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// Plain fault-dropping run through the non-deprecated surface.
+    fn run_set(
+        engine: &mut dyn FaultSimEngine,
+        tests: TestSet<'_>,
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+    ) -> usize {
+        engine
+            .simulate(tests, faults, detected, &FaultSimOptions::new())
+            .newly_detected
     }
 
     /// Reference scalar implementation: simulate the whole faulty circuit.
@@ -990,9 +1389,9 @@ mod tests {
         let tests = random_tests(128, 4, 3, 7);
         for mut engine in engines(&net) {
             let mut detected = vec![false; faults.len()];
-            let n1 = engine.run(&tests, &faults, &mut detected);
+            let n1 = run_set(engine.as_mut(), (&tests[..]).into(), &faults, &mut detected);
             assert_eq!(n1, detected.iter().filter(|&&d| d).count());
-            let n2 = engine.run(&tests, &faults, &mut detected);
+            let n2 = run_set(engine.as_mut(), (&tests[..]).into(), &faults, &mut detected);
             assert_eq!(n2, 0, "{}: re-run detects nothing new", engine.name());
             assert!(coverage_percent(&detected) > 50.0);
         }
@@ -1005,7 +1404,15 @@ mod tests {
         let tests = random_tests(100, 4, 3, 21);
         let mut engine = PackedParallelSim::new(&net);
         let mut det = vec![false; faults.len()];
-        let first = engine.first_detections(&tests, &faults, &mut det);
+        let first = engine
+            .simulate(
+                (&tests[..]).into(),
+                &faults,
+                &mut det,
+                &FaultSimOptions::new().first_detection(true),
+            )
+            .first_detection
+            .expect("first detections were requested");
         let mut oracle = SerialSim::new(&net);
         for (fi, f) in faults.iter().enumerate() {
             if let Some(ti) = first[fi] {
@@ -1027,7 +1434,12 @@ mod tests {
         let tests = random_tests(70, 4, 3, 5);
         for mut engine in engines(&net) {
             let mut det_batch = vec![false; faults.len()];
-            engine.run(&tests, &faults, &mut det_batch);
+            run_set(
+                engine.as_mut(),
+                (&tests[..]).into(),
+                &faults,
+                &mut det_batch,
+            );
             let mut det_single = vec![false; faults.len()];
             for t in &tests {
                 for (fi, f) in faults.iter().enumerate() {
@@ -1051,9 +1463,9 @@ mod tests {
             .collect();
         for mut engine in engines(&net) {
             let mut det_a = vec![false; faults.len()];
-            engine.run(&tests, &faults, &mut det_a);
+            run_set(engine.as_mut(), (&tests[..]).into(), &faults, &mut det_a);
             let mut det_b = vec![false; faults.len()];
-            engine.run_two_pattern(&expanded, &faults, &mut det_b);
+            run_set(engine.as_mut(), (&expanded[..]).into(), &faults, &mut det_b);
             assert_eq!(det_a, det_b, "{}", engine.name());
         }
     }
@@ -1077,9 +1489,9 @@ mod tests {
             .collect();
         let mut engine = PackedParallelSim::new(&net);
         let mut det_nat = vec![false; faults.len()];
-        engine.run_two_pattern(&natural, &faults, &mut det_nat);
+        run_set(&mut engine, (&natural[..]).into(), &faults, &mut det_nat);
         let mut det_held = vec![false; faults.len()];
-        engine.run_two_pattern(&held, &faults, &mut det_held);
+        run_set(&mut engine, (&held[..]).into(), &faults, &mut det_held);
         assert_ne!(det_nat, det_held, "held states should alter detections");
     }
 
@@ -1091,7 +1503,7 @@ mod tests {
         for mut engine in engines(&net) {
             let counts = engine.n_detect_profile(&tests, &faults, 5);
             let mut detected = vec![false; faults.len()];
-            engine.run(&tests, &faults, &mut detected);
+            run_set(engine.as_mut(), (&tests[..]).into(), &faults, &mut detected);
             for (c, d) in counts.iter().zip(&detected) {
                 assert_eq!(*c >= 1, *d, "1-detect must agree with plain detection");
                 assert!(*c <= 5, "cap respected");
@@ -1162,6 +1574,8 @@ mod tests {
             );
             assert_eq!(detected, reference, "threads={threads}");
             assert_eq!(out.newly_detected, reference.iter().filter(|&&d| d).count());
+            assert_eq!(out.newly.len(), out.newly_detected);
+            assert!(out.newly.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
         }
     }
 
@@ -1210,12 +1624,15 @@ mod tests {
             .threads(3)
             .fault_dropping(false)
             .first_detection(true)
-            .activity(true);
+            .activity(true)
+            .until_first_accept(true);
         assert_eq!(opts.n_detect_cap(), 7);
         assert_eq!(opts.thread_count(), 3);
         assert!(!opts.drops_faults());
+        assert!(opts.stops_at_first_accept());
         let m = FaultSimOptions::new().detection_matrix(true);
         assert!(!m.drops_faults(), "matrix recording implies no dropping");
+        assert!(!m.stops_at_first_accept());
     }
 
     #[test]
@@ -1224,24 +1641,160 @@ mod tests {
         let faults = all_transition_faults(&net);
         for mut engine in engines(&net) {
             let mut detected = vec![false; faults.len()];
-            assert_eq!(engine.run(&[], &faults, &mut detected), 0);
+            let empty: &[BroadsideTest] = &[];
+            assert_eq!(
+                run_set(engine.as_mut(), empty.into(), &faults, &mut detected),
+                0
+            );
             assert!(detected.iter().all(|&d| !d));
         }
     }
 
     #[test]
-    fn from_str01_doc_smoke() {
-        // The engine doc example's test vector: keep it detecting something.
+    fn grouped_single_group_matches_simulate() {
         let net = s27();
         let faults = all_transition_faults(&net);
-        let tests = vec![BroadsideTest::new(
+        let tests = random_tests(90, 4, 3, 17);
+        for opts in [
+            FaultSimOptions::new(),
+            FaultSimOptions::new().n_detect(4).first_detection(true),
+            FaultSimOptions::new().fault_dropping(false).activity(true),
+        ] {
+            for mut engine in engines(&net) {
+                let baseline = vec![false; faults.len()];
+                let groups = [TestGroup::new(&tests[..])];
+                let grouped = engine
+                    .simulate_groups(&groups, &faults, &baseline, &opts)
+                    .pop()
+                    .unwrap();
+                let mut det = baseline.clone();
+                let single = engine.simulate((&tests[..]).into(), &faults, &mut det, &opts);
+                assert_eq!(grouped, single, "{}", engine.name());
+                for &fi in &grouped.newly {
+                    assert!(det[fi]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_outcomes_match_standalone_runs() {
+        // Unequal group lengths straddling word boundaries, a non-clean
+        // baseline, and mixed broadside/two-pattern groups in one batch.
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let a = random_tests(10, 4, 3, 1);
+        let b = random_tests(70, 4, 3, 2);
+        let c: Vec<TwoPatternTest> = random_tests(23, 4, 3, 3)
+            .iter()
+            .map(|t| TwoPatternTest::from_broadside(&net, t))
+            .collect();
+        let d = random_tests(1, 4, 3, 4);
+        let groups = [
+            TestGroup::new(&a[..]),
+            TestGroup::new(&b[..]),
+            TestGroup::new(&c[..]),
+            TestGroup::new(&d[..]),
+        ];
+        let mut baseline = vec![false; faults.len()];
+        for (i, b) in baseline.iter_mut().enumerate() {
+            *b = i % 5 == 0;
+        }
+        for opts in [
+            FaultSimOptions::new(),
+            FaultSimOptions::new().fault_dropping(false),
+            FaultSimOptions::new().n_detect(4).first_detection(true),
+            FaultSimOptions::new()
+                .detection_matrix(true)
+                .activity(true)
+                .first_detection(true),
+        ] {
+            let mut oracle = SerialSim::new(&net);
+            let standalone: Vec<SimOutcome> = groups
+                .iter()
+                .map(|g| {
+                    let mut det = baseline.clone();
+                    oracle.simulate(g.tests, &faults, &mut det, &opts)
+                })
+                .collect();
+            for mut engine in engines(&net) {
+                let outs = engine.simulate_groups(&groups, &faults, &baseline, &opts);
+                assert_eq!(outs, standalone, "{} opts {opts:?}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn until_first_accept_stops_after_first_acceptor() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        // Group 0 rejects (no tests), group 1 accepts, group 2 must not be
+        // simulated to completion.
+        let empty: Vec<BroadsideTest> = Vec::new();
+        let b = random_tests(40, 4, 3, 9);
+        let c = random_tests(40, 4, 3, 10);
+        let groups = [
+            TestGroup::new(&empty[..]),
+            TestGroup::new(&b[..]),
+            TestGroup::new(&c[..]),
+        ];
+        let baseline = vec![false; faults.len()];
+        let opts = FaultSimOptions::new().until_first_accept(true);
+        let mut expected: Option<Vec<SimOutcome>> = None;
+        for mut engine in engines(&net) {
+            let outs = engine.simulate_groups(&groups, &faults, &baseline, &opts);
+            assert!(outs[0].complete && outs[0].newly_detected == 0);
+            assert!(outs[1].complete && outs[1].newly_detected > 0);
+            assert!(!outs[2].complete, "groups after the acceptor are cut off");
+            assert_eq!(outs[2].newly_detected, 0);
+            match &expected {
+                None => expected = Some(outs),
+                Some(e) => assert_eq!(&outs, e, "{}", engine.name()),
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_new_api() {
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = random_tests(50, 4, 3, 23);
+        let two: Vec<TwoPatternTest> = tests
+            .iter()
+            .map(|t| TwoPatternTest::from_broadside(&net, t))
+            .collect();
+        for mut engine in engines(&net) {
+            let mut det_old = vec![false; faults.len()];
+            let n_old = engine.run(&tests, &faults, &mut det_old);
+            let mut det_new = vec![false; faults.len()];
+            let n_new = run_set(engine.as_mut(), (&tests[..]).into(), &faults, &mut det_new);
+            assert_eq!((n_old, det_old.clone()), (n_new, det_new));
+
+            let mut det_tp = vec![false; faults.len()];
+            engine.run_two_pattern(&two, &faults, &mut det_tp);
+            assert_eq!(det_tp, det_old, "natural two-pattern equals broadside");
+
+            let mut det_fd = vec![false; faults.len()];
+            let first = engine.first_detections(&tests, &faults, &mut det_fd);
+            assert_eq!(det_fd, det_old);
+            assert_eq!(first.len(), faults.len());
+        }
+    }
+
+    #[test]
+    fn from_str01_doc_smoke() {
+        // The engine doc example's vectors: keep them detecting something.
+        let net = s27();
+        let faults = all_transition_faults(&net);
+        let tests = [BroadsideTest::new(
             Bits::from_str01("000"),
             Bits::from_str01("0000"),
             Bits::from_str01("1000"),
         )];
         let mut engine = PackedParallelSim::new(&net);
         let mut detected = vec![false; faults.len()];
-        let newly = engine.run(&tests, &faults, &mut detected);
+        let newly = run_set(&mut engine, (&tests[..]).into(), &faults, &mut detected);
         assert_eq!(newly, detected.iter().filter(|&&d| d).count());
     }
 }

@@ -29,7 +29,7 @@ mod transition;
 pub use broadside::{BroadsideTest, TwoPatternTest};
 pub use engine::{
     DetectionMatrix, FaultSimEngine, FaultSimOptions, PackedParallelSim, SerialSim, SimOutcome,
-    TestSet,
+    TestGroup, TestSet,
 };
 pub use path::{Path, TransitionPathDelayFault};
 pub use sensitize::{classify, Sensitization};

@@ -61,12 +61,26 @@ fn plain_run_is_bit_identical() {
 
         let mut serial = SerialSim::new(&net);
         let mut det_ref = vec![false; faults.len()];
-        let newly_ref = serial.run(&tests, &faults, &mut det_ref);
+        let newly_ref = serial
+            .simulate(
+                TestSet::Broadside(&tests),
+                &faults,
+                &mut det_ref,
+                &FaultSimOptions::new(),
+            )
+            .newly_detected;
 
         // Pre-set some flags to exercise dropping from a non-clean start.
         let preset: Vec<bool> = (0..faults.len()).map(|_| rng.chance(1, 4)).collect();
         let mut det_preset_ref = preset.clone();
-        let newly_preset_ref = serial.run(&tests, &faults, &mut det_preset_ref);
+        let newly_preset_ref = serial
+            .simulate(
+                TestSet::Broadside(&tests),
+                &faults,
+                &mut det_preset_ref,
+                &FaultSimOptions::new(),
+            )
+            .newly_detected;
 
         for threads in THREADS {
             let opts = FaultSimOptions::new().threads(threads);
@@ -120,7 +134,12 @@ fn two_pattern_run_is_bit_identical() {
 
         let mut serial = SerialSim::new(&net);
         let mut det_ref = vec![false; faults.len()];
-        serial.run_two_pattern(&tests, &faults, &mut det_ref);
+        serial.simulate(
+            TestSet::TwoPattern(&tests),
+            &faults,
+            &mut det_ref,
+            &FaultSimOptions::new(),
+        );
 
         for threads in THREADS {
             let opts = FaultSimOptions::new().threads(threads);
@@ -242,8 +261,9 @@ fn warm_engine_state_does_not_leak_between_calls() {
         let mut fresh = PackedParallelSim::new(&net);
         let mut det_warm = vec![false; faults.len()];
         let mut det_fresh = vec![false; faults.len()];
-        warm.run(&tests, &faults, &mut det_warm);
-        fresh.run(&tests, &faults, &mut det_fresh);
+        let opts = FaultSimOptions::new();
+        warm.simulate(TestSet::Broadside(&tests), &faults, &mut det_warm, &opts);
+        fresh.simulate(TestSet::Broadside(&tests), &faults, &mut det_fresh, &opts);
         assert_eq!(det_warm, det_fresh, "round {round}");
     }
 }

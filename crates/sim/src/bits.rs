@@ -32,6 +32,21 @@ impl Bits {
         }
     }
 
+    /// Build from packed words: bit `i` of the vector is bit `i % 64` of
+    /// `words[i / 64]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count is not `len.div_ceil(64)` or the unused tail
+    /// bits of the last word are not zero (the representation invariant).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        if !len.is_multiple_of(64) {
+            assert_eq!(words[len / 64] >> (len % 64), 0, "tail bits must be zero");
+        }
+        Bits { words, len }
+    }
+
     /// Build from a boolean slice.
     pub fn from_bools(bools: &[bool]) -> Self {
         let mut b = Bits::zeros(bools.len());
@@ -175,8 +190,26 @@ impl fmt::Display for Bits {
 
 impl FromIterator<bool> for Bits {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        let bools: Vec<bool> = iter.into_iter().collect();
-        Bits::from_bools(&bools)
+        // Pack directly into words — no intermediate `Vec<bool>` and no
+        // per-bit bounds check; this is on the hot path of lane extraction.
+        let iter = iter.into_iter();
+        let mut words: Vec<u64> = Vec::with_capacity(iter.size_hint().0.div_ceil(64));
+        let mut len = 0usize;
+        let mut cur = 0u64;
+        for v in iter {
+            if v {
+                cur |= 1u64 << (len % 64);
+            }
+            len += 1;
+            if len.is_multiple_of(64) {
+                words.push(cur);
+                cur = 0;
+            }
+        }
+        if !len.is_multiple_of(64) {
+            words.push(cur);
+        }
+        Bits { words, len }
     }
 }
 

@@ -5,6 +5,20 @@ use fbt_netlist::{GateKind, Netlist, NodeId};
 /// Evaluate one gate over packed 64-pattern words.
 #[inline]
 fn eval_gate_packed(kind: GateKind, fanins: &[NodeId], vals: &[u64]) -> u64 {
+    // Two-input gates dominate the benchmark netlists; evaluate them
+    // without the iterator fold so the common case is two loads and one op.
+    if let [a, b] = fanins {
+        let (a, b) = (vals[a.index()], vals[b.index()]);
+        match kind {
+            GateKind::And => return a & b,
+            GateKind::Nand => return !(a & b),
+            GateKind::Or => return a | b,
+            GateKind::Nor => return !(a | b),
+            GateKind::Xor => return a ^ b,
+            GateKind::Xnor => return !(a ^ b),
+            _ => {}
+        }
+    }
     let mut it = fanins.iter().map(|f| vals[f.index()]);
     match kind {
         GateKind::And => it.fold(!0u64, |a, v| a & v),
@@ -46,6 +60,120 @@ pub fn eval_packed_cone(net: &Netlist, cone: &[NodeId], vals: &mut [u64]) {
             continue;
         }
         vals[id.index()] = eval_gate_packed(node.kind(), node.fanins(), vals);
+    }
+}
+
+/// A netlist's combinational logic flattened into a branch-light op list.
+///
+/// [`eval_packed`] walks node metadata (kind, fanin list) through two pointer
+/// indirections per gate per cycle. For the multi-lane sequential simulator
+/// that walk dominates, so this pre-compiles the evaluation order once into a
+/// flat array of fixed-size ops (the 1- and 2-input gates that dominate the
+/// benchmark netlists) plus a fanin pool for wider gates. Evaluation is
+/// bit-identical to [`eval_packed`]: same order, same operations.
+#[derive(Debug, Clone)]
+pub struct CompiledEval {
+    ops: Vec<CompiledOp>,
+    pool: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CompiledOp {
+    /// 0 And2, 1 Nand2, 2 Or2, 3 Nor2, 4 Xor2, 5 Xnor2, 6 Not, 7 Buf;
+    /// `8 + k` = wide gate with the kind encoded as `k` (same order) whose
+    /// fanins are `pool[a..a + b]`.
+    code: u8,
+    out: u32,
+    a: u32,
+    b: u32,
+}
+
+impl CompiledEval {
+    /// Compile `net`'s evaluation order.
+    pub fn new(net: &Netlist) -> Self {
+        let kind_code = |kind: GateKind| -> u8 {
+            match kind {
+                GateKind::And => 0,
+                GateKind::Nand => 1,
+                GateKind::Or => 2,
+                GateKind::Nor => 3,
+                GateKind::Xor => 4,
+                GateKind::Xnor => 5,
+                GateKind::Not => 6,
+                GateKind::Buf => 7,
+                GateKind::Input | GateKind::Dff => unreachable!("sources are not evaluated"),
+            }
+        };
+        let mut ops = Vec::with_capacity(net.eval_order().len());
+        let mut pool: Vec<u32> = Vec::new();
+        for &id in net.eval_order() {
+            let node = net.node(id);
+            let code = kind_code(node.kind());
+            let out = id.index() as u32;
+            let op = match node.fanins() {
+                // NOT/BUF are the only 1-input kinds; other kinds keep the
+                // fold path at any other arity (a 1-input AND folds to BUF
+                // semantics there, matching `eval_gate_packed`).
+                [a] if code >= 6 => CompiledOp {
+                    code,
+                    out,
+                    a: a.index() as u32,
+                    b: 0,
+                },
+                [a, b] if code < 6 => CompiledOp {
+                    code,
+                    out,
+                    a: a.index() as u32,
+                    b: b.index() as u32,
+                },
+                many => {
+                    let start = pool.len() as u32;
+                    pool.extend(many.iter().map(|f| f.index() as u32));
+                    CompiledOp {
+                        code: 8 + code,
+                        out,
+                        a: start,
+                        b: many.len() as u32,
+                    }
+                }
+            };
+            ops.push(op);
+        }
+        CompiledEval { ops, pool }
+    }
+
+    /// Evaluate over packed 64-pattern words; sources pre-filled, gate
+    /// entries overwritten in the compiled order.
+    pub fn eval(&self, vals: &mut [u64]) {
+        for op in &self.ops {
+            let v = if op.code < 8 {
+                let a = vals[op.a as usize];
+                match op.code {
+                    0 => a & vals[op.b as usize],
+                    1 => !(a & vals[op.b as usize]),
+                    2 => a | vals[op.b as usize],
+                    3 => !(a | vals[op.b as usize]),
+                    4 => a ^ vals[op.b as usize],
+                    5 => !(a ^ vals[op.b as usize]),
+                    6 => !a,
+                    _ => a,
+                }
+            } else {
+                let fanins = &self.pool[op.a as usize..(op.a + op.b) as usize];
+                let mut it = fanins.iter().map(|&f| vals[f as usize]);
+                match op.code - 8 {
+                    0 => it.fold(!0u64, |a, v| a & v),
+                    1 => !it.fold(!0u64, |a, v| a & v),
+                    2 => it.fold(0u64, |a, v| a | v),
+                    3 => !it.fold(0u64, |a, v| a | v),
+                    4 => it.fold(0u64, |a, v| a ^ v),
+                    5 => !it.fold(0u64, |a, v| a ^ v),
+                    6 => !it.next().expect("NOT has a fanin"),
+                    _ => it.next().expect("BUF has a fanin"),
+                }
+            };
+            vals[op.out as usize] = v;
+        }
     }
 }
 
@@ -176,6 +304,22 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn compiled_eval_matches_eval_packed() {
+        let net = s27();
+        let prog = CompiledEval::new(&net);
+        for combo in 0..128u64 {
+            let pi: Vec<u64> = (0..4).map(|b| ((combo >> b) & 1) * !0u64).collect();
+            let st: Vec<u64> = (0..3).map(|b| ((combo >> (4 + b)) & 1) * !0u64).collect();
+            let mut reference = vec![0u64; net.num_nodes()];
+            load_sources_packed(&net, &pi, &st, &mut reference);
+            let mut compiled = reference.clone();
+            eval_packed(&net, &mut reference);
+            prog.eval(&mut compiled);
+            assert_eq!(compiled, reference, "combo {combo}");
         }
     }
 

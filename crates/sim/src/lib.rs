@@ -9,7 +9,9 @@
 //!   drives built-in test generation (Chapter 4 of the paper) and by the
 //!   switching-activity monitor ([`activity`]).
 //! * **Bit-parallel two-valued** ([`comb::eval_packed`]) — 64 patterns per
-//!   machine word, the throughput kernel behind broadside fault simulation.
+//!   machine word, the throughput kernel behind broadside fault simulation;
+//!   [`lanes::LaneSeqSim`] lifts it to sequential trajectories, evaluating
+//!   up to 64 speculative candidates per levelized pass.
 //! * **Scalar three-valued** ([`tv`]) — 0/1/X simulation used for primary
 //!   input cube computation, necessary assignments and case analysis.
 //!
@@ -20,6 +22,7 @@ pub mod activity;
 mod bits;
 pub mod comb;
 pub mod event;
+pub mod lanes;
 pub mod reset;
 pub mod seq;
 pub mod tv;

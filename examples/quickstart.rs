@@ -63,8 +63,9 @@ fn main() {
     let mut serial = SerialSim::new(&circuit);
     let mut det_packed = vec![false; faults.len()];
     let mut det_serial = vec![false; faults.len()];
-    packed.run(&tests, &faults, &mut det_packed);
-    serial.run(&tests, &faults, &mut det_serial);
+    let opts = FaultSimOptions::new();
+    packed.simulate(TestSet::Broadside(&tests), &faults, &mut det_packed, &opts);
+    serial.simulate(TestSet::Broadside(&tests), &faults, &mut det_serial, &opts);
     assert_eq!(det_packed, det_serial, "engines are bit-identical");
     println!(
         "{} and {} agree: {:.2}% coverage from 256 random broadside tests",

@@ -68,15 +68,21 @@ rm -f "${lint_out}"
 
 echo "== golden Chapter-4 outcomes (bit-identity vs committed fixtures) =="
 # The three generation modes must reproduce the committed pre-engine
-# fixtures byte-exactly across batch/thread combinations.
+# fixtures byte-exactly across batch/thread combinations. The golden suite
+# runs the candidate-packed path (batch {1, 4, 16}); the determinism suite
+# additionally diffs packed against the legacy per-candidate passes and the
+# serial reference.
 cargo test --release -q -p fbt-core --test golden_ch4
 cargo test --release -q -p fbt-core --test speculative_determinism
 
 echo "== bench_ch4 smoke (speculative search stats + JSON) =="
 # One small constrained generation with stats printing (restricted to one
-# circuit via the filter argument); the run itself asserts serial and
-# speculative modes reach identical coverage, and the JSON summary must
-# record the unified engine it was measured on.
+# circuit via the filter argument); the run itself asserts serial, legacy
+# speculative and candidate-packed modes reach identical coverage, and the
+# JSON summary must record the unified engine it was measured on. The
+# packed grouped calls exist to remove per-candidate pass overhead, so
+# packed batch-8 must not be slower than the serial loop even at smoke
+# scale.
 bench_json=$(mktemp)
 BENCH_CH4_OUT="${bench_json}" cargo run --release -q -p fbt-bench --bin bench_ch4 smoke spi
 python3 -m json.tool "${bench_json}" > /dev/null
@@ -85,6 +91,18 @@ import json, sys
 d = json.load(open(sys.argv[1]))
 assert d.get("engine") == "unified", f"missing/stale engine field: {d.get('engine')!r}"
 assert all(e["circuit"] == "spi" for e in d["entries"]), "circuit filter ignored"
+modes = {e["mode"] for e in d["entries"]}
+assert modes == {"serial", "spec8", "packed8"}, f"unexpected mode set: {modes}"
+for method in ("unconstrained", "constrained"):
+    rows = {e["mode"]: e for e in d["entries"] if e["method"] == method}
+    assert len({e["fc_pct"] for e in rows.values()}) == 1, f"{method}: coverage drifted"
+wall = {
+    mode: sum(e["stats"]["total_wall_s"] for e in d["entries"] if e["mode"] == mode)
+    for mode in modes
+}
+assert wall["packed8"] <= wall["serial"], (
+    f"packed8 slower than serial ({wall['packed8']:.4f}s > {wall['serial']:.4f}s)"
+)
 EOF
 rm -f "${bench_json}"
 

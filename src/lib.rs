@@ -65,7 +65,7 @@ pub mod prelude {
     };
     pub use fbt_fault::{
         all_transition_faults, collapse, BroadsideTest, FaultSimEngine, FaultSimOptions,
-        PackedParallelSim, SerialSim, TransitionFault, TwoPatternTest,
+        PackedParallelSim, SerialSim, TestGroup, TestSet, TransitionFault, TwoPatternTest,
     };
     pub use fbt_netlist::{Netlist, NetlistBuilder, NodeId};
     pub use fbt_sat::{solve_transition_fault, DetectionVerdict, Solver};

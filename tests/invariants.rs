@@ -7,7 +7,9 @@
 //! promises.
 
 use fbt::bist::{Lfsr, Misr, Tpg, TpgSpec};
-use fbt::fault::{all_transition_faults, BroadsideTest, FaultSimEngine, SerialSim};
+use fbt::fault::{
+    all_transition_faults, BroadsideTest, FaultSimEngine, FaultSimOptions, SerialSim, TestSet,
+};
 use fbt::netlist::rng::Rng;
 use fbt::netlist::synth::CircuitSpec;
 use fbt::netlist::{synth, Netlist};
@@ -144,9 +146,19 @@ fn fault_sim_monotone() {
             .collect();
         let mut fsim = SerialSim::new(&net);
         let mut det_half = vec![false; faults.len()];
-        fsim.run(&tests[..12], &faults, &mut det_half);
+        fsim.simulate(
+            TestSet::Broadside(&tests[..12]),
+            &faults,
+            &mut det_half,
+            &FaultSimOptions::new(),
+        );
         let mut det_full = vec![false; faults.len()];
-        fsim.run(&tests, &faults, &mut det_full);
+        fsim.simulate(
+            TestSet::Broadside(&tests),
+            &faults,
+            &mut det_full,
+            &FaultSimOptions::new(),
+        );
         for (h, f) in det_half.iter().zip(&det_full) {
             assert!(!h || *f, "superset lost a detection");
         }

@@ -116,12 +116,22 @@ proptest! {
             (0..net.num_inputs()).map(|_| rng.bit()).collect(),
         );
         let tests: Vec<BroadsideTest> = (0..24).map(|_| mk(&mut rng)).collect();
-        use fbt::fault::FaultSimEngine;
+        use fbt::fault::{FaultSimEngine, FaultSimOptions, TestSet};
         let mut fsim = fbt::fault::SerialSim::new(&net);
         let mut det_half = vec![false; faults.len()];
-        fsim.run(&tests[..12], &faults, &mut det_half);
+        fsim.simulate(
+            TestSet::Broadside(&tests[..12]),
+            &faults,
+            &mut det_half,
+            &FaultSimOptions::new(),
+        );
         let mut det_full = vec![false; faults.len()];
-        fsim.run(&tests, &faults, &mut det_full);
+        fsim.simulate(
+            TestSet::Broadside(&tests),
+            &faults,
+            &mut det_full,
+            &FaultSimOptions::new(),
+        );
         for (h, f) in det_half.iter().zip(&det_full) {
             prop_assert!(!h || *f, "superset lost a detection");
         }

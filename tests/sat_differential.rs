@@ -14,7 +14,8 @@
 
 use fbt_fault::path::{enumerate_paths, tpdf_list};
 use fbt_fault::{
-    all_transition_faults, BroadsideTest, FaultSimEngine, PackedParallelSim, SerialSim,
+    all_transition_faults, BroadsideTest, FaultSimEngine, FaultSimOptions, PackedParallelSim,
+    SerialSim, TestSet,
 };
 use fbt_netlist::rng::Rng;
 use fbt_netlist::synth::CircuitSpec;
@@ -39,7 +40,12 @@ fn exhaustive_detectability(net: &Netlist) -> Vec<bool> {
     let faults = all_transition_faults(net);
     let tests = all_broadside_tests(net);
     let mut detected = vec![false; faults.len()];
-    PackedParallelSim::new(net).run(&tests, &faults, &mut detected);
+    PackedParallelSim::new(net).simulate(
+        TestSet::Broadside(&tests),
+        &faults,
+        &mut detected,
+        &FaultSimOptions::new(),
+    );
     detected
 }
 
